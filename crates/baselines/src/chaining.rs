@@ -1,0 +1,411 @@
+//! Intel TBB `concurrent_hash_map` analog (paper §2.1).
+//!
+//! "This hash table is also based upon the classic separate chaining
+//! design, where keys are hashed to a bucket that contains a linked list
+//! of entries ... Because a key hashes to one unique bucket, holding a
+//! per-bucket lock permits guaranteed exclusive modification while still
+//! allowing fine-grained access. Further care must be taken if the hash
+//! table permits expansion."
+//!
+//! [`ChainingMap`] follows that recipe: heap-allocated nodes chained per
+//! bucket, striped reader-writer locks (readers share, writers exclude —
+//! TBB's `accessor`/`const_accessor` split), and expansion by taking
+//! every stripe in write mode and relinking nodes into a doubled bucket
+//! array (nodes themselves never move or reallocate). Like
+//! [`crate::node_chain`], the per-entry node allocation is the memory
+//! overhead the paper charges against this design for small items.
+
+use crate::InsertError;
+use core::hash::{BuildHasher, Hash};
+use parking_lot::RwLock;
+use std::collections::hash_map::RandomState;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Node<K, V> {
+    key: K,
+    val: V,
+    next: *mut Node<K, V>,
+}
+
+struct Heads<K, V> {
+    slots: Box<[AtomicPtr<Node<K, V>>]>,
+    mask: usize,
+}
+
+impl<K, V> Heads<K, V> {
+    fn new(buckets: usize) -> Self {
+        let buckets = buckets.next_power_of_two();
+        Heads {
+            slots: (0..buckets)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            mask: buckets - 1,
+        }
+    }
+}
+
+/// Number of reader-writer lock stripes.
+const STRIPES: usize = 256;
+
+/// A concurrent separate-chaining hash map with striped RW locks and
+/// automatic expansion (the TBB comparison table).
+pub struct ChainingMap<K, V, S = RandomState> {
+    heads: AtomicPtr<Heads<K, V>>,
+    locks: Box<[RwLock<()>]>,
+    hash_builder: S,
+    len: AtomicUsize,
+    nodes_allocated: AtomicUsize,
+    /// Retired head arrays (node pointers were relinked out of them, but
+    /// in-flight readers may still hold the array itself).
+    graveyard: Mutex<Vec<*mut Heads<K, V>>>,
+}
+
+// SAFETY: nodes and head arrays are owned by the map and freed only on
+// drop (or relinked under all write locks); all access is mediated by the
+// stripe RW locks. Entries cross threads by reference and by move.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Send for ChainingMap<K, V, S> {}
+// SAFETY: as above.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Sync for ChainingMap<K, V, S> {}
+
+impl<K, V> ChainingMap<K, V, RandomState>
+where
+    K: Hash + Eq,
+{
+    /// Creates a map pre-sized for `capacity` items at load factor ≤ 1.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, RandomState::new())
+    }
+}
+
+impl<K, V, S> ChainingMap<K, V, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    /// Creates a map with an explicit hasher.
+    pub fn with_capacity_and_hasher(capacity: usize, hash_builder: S) -> Self {
+        let heads = Box::new(Heads::new(capacity.max(16)));
+        ChainingMap {
+            heads: AtomicPtr::new(Box::into_raw(heads)),
+            locks: (0..STRIPES).map(|_| RwLock::new(())).collect(),
+            hash_builder,
+            len: AtomicUsize::new(0),
+            nodes_allocated: AtomicUsize::new(0),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn current(&self) -> &Heads<K, V> {
+        // SAFETY: head arrays are retired to the graveyard, never freed
+        // before the map drops.
+        unsafe { &*self.heads.load(Ordering::Acquire) }
+    }
+
+    #[inline]
+    fn stripe_of(bucket: usize) -> usize {
+        bucket & (STRIPES - 1)
+    }
+
+    /// Looks up `key`, applying `f` under the bucket's read lock.
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let hash = self.hash_builder.hash_one(key) as usize;
+        loop {
+            let heads = self.current();
+            let bucket = hash & heads.mask;
+            let _g = self.locks[Self::stripe_of(bucket)].read();
+            if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
+                continue; // expanded while locking
+            }
+            let mut cur = heads.slots[bucket].load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: nodes are freed only on drop; the read lock
+                // excludes writers relinking this chain.
+                let node = unsafe { &*cur };
+                if node.key == *key {
+                    return Some(f(&node.val));
+                }
+                cur = node.next;
+            }
+            return None;
+        }
+    }
+
+    /// Looks up `key`, cloning the value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    /// Inserts `key → val`.
+    pub fn insert(&self, key: K, val: V) -> Result<(), InsertError> {
+        let hash = self.hash_builder.hash_one(&key) as usize;
+        // Pre-allocate the node outside the lock (and count it).
+        let node = Box::into_raw(Box::new(Node {
+            key,
+            val,
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let heads = self.current();
+            let bucket = hash & heads.mask;
+            {
+                let _g = self.locks[Self::stripe_of(bucket)].write();
+                if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
+                    continue;
+                }
+                let head = heads.slots[bucket].load(Ordering::Acquire);
+                let mut cur = head;
+                while !cur.is_null() {
+                    // SAFETY: write lock held on this bucket's stripe.
+                    let n = unsafe { &*cur };
+                    // SAFETY: our node is not yet published; we own it.
+                    if n.key == unsafe { &*node }.key {
+                        // SAFETY: unpublished node; reclaim it.
+                        drop(unsafe { Box::from_raw(node) });
+                        return Err(InsertError::KeyExists);
+                    }
+                    cur = n.next;
+                }
+                // SAFETY: we own the unpublished node.
+                unsafe { (*node).next = head };
+                heads.slots[bucket].store(node, Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                self.nodes_allocated.fetch_add(1, Ordering::Relaxed);
+            }
+            // Expand outside the bucket lock when load factor exceeds 1.
+            if self.len.load(Ordering::Relaxed) > heads.mask + 1 {
+                self.expand(heads);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let hash = self.hash_builder.hash_one(key) as usize;
+        loop {
+            let heads = self.current();
+            let bucket = hash & heads.mask;
+            let _g = self.locks[Self::stripe_of(bucket)].write();
+            if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
+                continue;
+            }
+            let mut prev: *mut Node<K, V> = std::ptr::null_mut();
+            let mut cur = heads.slots[bucket].load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: write lock held; node alive until unlinked.
+                let (matches, next) = unsafe { ((*cur).key == *key, (*cur).next) };
+                if matches {
+                    if prev.is_null() {
+                        heads.slots[bucket].store(next, Ordering::Release);
+                    } else {
+                        // SAFETY: write lock held; `prev` is the live
+                        // chain predecessor.
+                        unsafe { (*prev).next = next };
+                    }
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.nodes_allocated.fetch_sub(1, Ordering::Relaxed);
+                    // SAFETY: unlinked; we own the node now.
+                    let boxed = unsafe { Box::from_raw(cur) };
+                    return Some(boxed.val);
+                }
+                prev = cur;
+                cur = next;
+            }
+            return None;
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current bucket count.
+    pub fn buckets(&self) -> usize {
+        self.current().mask + 1
+    }
+
+    /// Bytes occupied: bucket array, stripe locks, and one heap node per
+    /// entry (including allocator header estimate of 16 bytes, matching
+    /// glibc malloc's chunk overhead).
+    pub fn memory_bytes(&self) -> usize {
+        let node_bytes = core::mem::size_of::<Node<K, V>>() + 16;
+        self.buckets() * core::mem::size_of::<AtomicPtr<Node<K, V>>>()
+            + self.nodes_allocated.load(Ordering::Relaxed) * node_bytes
+            + STRIPES * core::mem::size_of::<RwLock<()>>()
+    }
+
+    /// Doubles the bucket array, relinking nodes in place.
+    fn expand(&self, seen: &Heads<K, V>) {
+        // Take every stripe in write mode, in order.
+        let guards: Vec<_> = self.locks.iter().map(|l| l.write()).collect();
+        if !std::ptr::eq(self.heads.load(Ordering::Acquire), seen) {
+            return; // someone else expanded
+        }
+        let old_ptr = self.heads.load(Ordering::Acquire);
+        // SAFETY: all stripes held exclusively.
+        let old = unsafe { &*old_ptr };
+        let new = Box::new(Heads::<K, V>::new((old.mask + 1) * 2));
+        for slot in old.slots.iter() {
+            let mut cur = slot.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: all stripes held; we may relink freely.
+                let node = unsafe { &mut *cur };
+                let next = node.next;
+                let bucket = (self.hash_builder.hash_one(&node.key) as usize) & new.mask;
+                node.next = new.slots[bucket].load(Ordering::Relaxed);
+                new.slots[bucket].store(cur, Ordering::Relaxed);
+                cur = next;
+            }
+        }
+        self.heads.store(Box::into_raw(new), Ordering::Release);
+        self.graveyard.lock().unwrap().push(old_ptr);
+        drop(guards);
+    }
+}
+
+impl<K, V, S> Drop for ChainingMap<K, V, S> {
+    fn drop(&mut self) {
+        let heads_ptr = *self.heads.get_mut();
+        // SAFETY: exclusive access on drop; frees every node exactly once
+        // (nodes live in exactly one chain of the current head array).
+        unsafe {
+            let heads = Box::from_raw(heads_ptr);
+            for slot in heads.slots.iter() {
+                let mut cur = slot.load(Ordering::Relaxed);
+                while !cur.is_null() {
+                    let node = Box::from_raw(cur);
+                    cur = node.next;
+                }
+            }
+        }
+        for &retired in self.graveyard.get_mut().unwrap().iter() {
+            // SAFETY: retired arrays hold no owned nodes (all relinked).
+            drop(unsafe { Box::from_raw(retired) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let m: ChainingMap<u64, u64> = ChainingMap::with_capacity(100);
+        m.insert(1, 10).unwrap();
+        m.insert(2, 20).unwrap();
+        assert_eq!(m.insert(1, 99), Err(InsertError::KeyExists));
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.remove(&1), Some(10));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn expansion_preserves_entries() {
+        let m: ChainingMap<u64, u64> = ChainingMap::with_capacity(16);
+        let initial = m.buckets();
+        for k in 0..1000u64 {
+            m.insert(k, k + 1).unwrap();
+        }
+        assert!(m.buckets() > initial);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&k), Some(k + 1), "key {k}");
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn string_entries_drop_cleanly() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        {
+            let m: ChainingMap<u64, Arc<()>> = ChainingMap::with_capacity(64);
+            for k in 0..200 {
+                m.insert(k, Arc::clone(&sentinel)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&sentinel), 201);
+            m.remove(&5);
+            assert_eq!(Arc::strong_count(&sentinel), 200);
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let m: ChainingMap<u64, u64> = ChainingMap::with_capacity(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..2500u64 {
+                        let key = t * 1_000_000 + i;
+                        m.insert(key, key).unwrap();
+                        if i % 3 == 0 {
+                            assert_eq!(m.remove(&key), Some(key));
+                        }
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            for i in 0..2500u64 {
+                let key = t * 1_000_000 + i;
+                let expect = if i % 3 == 0 { None } else { Some(key) };
+                assert_eq!(m.get(&key), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_during_expansion() {
+        let m: ChainingMap<u64, u64> = ChainingMap::with_capacity(16);
+        for k in 0..100u64 {
+            m.insert(k, k).unwrap();
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stop = &stop;
+        let m = &m;
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        assert_eq!(m.get(&(i % 100)), Some(i % 100));
+                        i += 1;
+                    }
+                });
+            }
+            s.spawn(move || {
+                for k in 100..5000u64 {
+                    m.insert(k, k).unwrap();
+                }
+                stop.store(true, Ordering::Release);
+            });
+        });
+        assert_eq!(m.len(), 5000);
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let m: ChainingMap<u64, u64> = ChainingMap::with_capacity(1024);
+        let empty = m.memory_bytes();
+        for k in 0..1000u64 {
+            m.insert(k, k).unwrap();
+        }
+        let full = m.memory_bytes();
+        assert!(full > empty + 1000 * 16, "empty={empty} full={full}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Baseline hash tables from the paper's evaluation (§2, §6).
+//!
+//! The paper compares its cuckoo tables against three other designs; this
+//! crate implements all of them from scratch:
+//!
+//! - [`DenseMap`] / [`ConcurrentDense`] — Google `dense_hash_map` analog:
+//!   open addressing with quadratic probing, a 0.5 maximum load factor,
+//!   and a single flat entry array ("sacrifices space efficiency for
+//!   extremely high speed"). Single-writer; the concurrent wrapper
+//!   serializes through a global lock, optionally elided (Figure 2).
+//! - [`NodeChainMap`] / [`ConcurrentNodeChain`] — C++11
+//!   `std::unordered_map` analog: separate chaining with one allocation
+//!   per entry, which is exactly the pointer overhead the paper charges
+//!   against chaining tables for small key-value pairs. Node storage
+//!   comes from a pre-allocated arena so elided inserts do not allocate
+//!   inside the transactional region (the paper's §5 advice).
+//! - [`ChainingMap`] — Intel TBB `concurrent_hash_map` analog: separate
+//!   chaining with striped reader-writer bucket locks, concurrent readers
+//!   *and* writers, and lock-all-and-double expansion.
+//!
+//! `DenseMap` and `NodeChainMap` route all memory access through
+//! [`htm::MemCtx`], so their global-lock wrappers can elide the lock with
+//! genuine conflict detection — reproducing the paper's §2.3 experiment
+//! where naive lock elision fails to scale single-writer tables.
+
+pub mod chaining;
+pub mod dense;
+pub mod locked;
+pub mod node_chain;
+
+pub use chaining::ChainingMap;
+pub use dense::{ConcurrentDense, DenseMap};
+pub use locked::LockKind;
+pub use node_chain::{ConcurrentNodeChain, NodeChainMap};
+
+/// Insert error shared by the baseline tables (mirrors
+/// `cuckoo::InsertError` without a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The table cannot accept more items (fixed-capacity variants).
+    TableFull,
+    /// The key is already present.
+    KeyExists,
+}
+
+impl core::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InsertError::TableFull => write!(f, "hash table too full to insert"),
+            InsertError::KeyExists => write!(f, "key already exists"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}

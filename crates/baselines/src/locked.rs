@@ -1,0 +1,275 @@
+//! Global-lock (and elided-global-lock) wrappers (paper §2.3).
+//!
+//! The paper's first experiment wraps single-writer tables in a global
+//! pthread lock, then enables TSX lock elision on it, and shows neither
+//! scales: "with global pthread locks, each hash table's multi-thread
+//! aggregate write throughput is much lower than that of a single thread
+//! ... By enabling TSX lock elision, the aggregate write throughput is
+//! higher than that with pthread global locks, but still much lower than
+//! the single thread throughput."
+//!
+//! [`Locked`] reproduces both configurations over any [`CtxTable`]: a
+//! `parking_lot::Mutex` (the pthread-mutex stand-in) or an
+//! [`htm::ElidedLock`] whose transactions execute the table's
+//! `MemCtx`-generic operations with genuine conflict detection.
+//!
+//! The element count is maintained *outside* the critical section (the
+//! paper removed global counters from the benchmarked tables because they
+//! are "obvious common data conflicts" — principle P1).
+
+use crate::InsertError;
+use htm::{Abort, DirectCtx, ElidedLock, ElisionConfig, ExecCtx, HtmDomain, MemCtx, StatsSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A table whose operations are written against [`MemCtx`].
+pub trait CtxTable {
+    /// Key type.
+    type Key;
+    /// Value type.
+    type Val;
+
+    /// Inserts through `ctx`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must provide writer-side mutual exclusion (a held lock or a
+    /// transactional context over a domain shared by all writers).
+    unsafe fn insert_ctx<C: MemCtx>(
+        &self,
+        ctx: &mut C,
+        key: Self::Key,
+        val: Self::Val,
+    ) -> Result<Result<(), InsertError>, Abort>;
+
+    /// Looks up through `ctx`.
+    ///
+    /// # Safety
+    ///
+    /// As for [`CtxTable::insert_ctx`]; readers also hold the lock in
+    /// this design ("only one writer or one reader is allowed at the same
+    /// time", §2.1).
+    unsafe fn get_ctx<C: MemCtx>(
+        &self,
+        ctx: &mut C,
+        key: &Self::Key,
+    ) -> Result<Option<Self::Val>, Abort>;
+
+    /// Removes through `ctx`.
+    ///
+    /// # Safety
+    ///
+    /// As for [`CtxTable::insert_ctx`].
+    unsafe fn remove_ctx<C: MemCtx>(
+        &self,
+        ctx: &mut C,
+        key: &Self::Key,
+    ) -> Result<Option<Self::Val>, Abort>;
+
+    /// Maximum items the table accepts.
+    fn item_capacity(&self) -> usize;
+
+    /// Bytes occupied by the table's storage.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Which lock protects the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// A plain global mutex (the paper's pthread global lock).
+    Global,
+    /// Elided global lock, glibc retry policy (`w/ TSX` in Figure 2).
+    ElidedGlibc,
+    /// Elided global lock, the paper's optimized policy.
+    ElidedOptimized,
+}
+
+enum LockImpl {
+    Mutex(parking_lot::Mutex<()>),
+    Elided(ElidedLock),
+}
+
+/// A single-writer table made shareable through one (possibly elided)
+/// global lock.
+pub struct Locked<T> {
+    table: T,
+    lock: LockImpl,
+    count: AtomicUsize,
+}
+
+impl<T: CtxTable> Locked<T> {
+    /// Wraps `table` behind the chosen lock.
+    pub fn new(table: T, kind: LockKind) -> Self {
+        let lock = match kind {
+            LockKind::Global => LockImpl::Mutex(parking_lot::Mutex::new(())),
+            LockKind::ElidedGlibc => LockImpl::Elided(ElidedLock::new(
+                Arc::new(HtmDomain::new()),
+                ElisionConfig::glibc(),
+            )),
+            LockKind::ElidedOptimized => LockImpl::Elided(ElidedLock::new(
+                Arc::new(HtmDomain::new()),
+                ElisionConfig::optimized(),
+            )),
+        };
+        Locked {
+            table,
+            lock,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped table.
+    pub fn table(&self) -> &T {
+        &self.table
+    }
+
+    fn run<R>(&self, mut f: impl FnMut(&mut ExecCtx<'_, '_>) -> Result<R, Abort>) -> R {
+        match &self.lock {
+            LockImpl::Mutex(m) => {
+                let _g = m.lock();
+                let mut ctx = ExecCtx::Direct(DirectCtx::new());
+                let r = f(&mut ctx).expect("direct ctx cannot abort");
+                ctx.finish();
+                r
+            }
+            LockImpl::Elided(l) => l.execute(f),
+        }
+    }
+
+    /// Inserts `key → val` under the lock.
+    pub fn insert(&self, key: T::Key, val: T::Val) -> Result<(), InsertError>
+    where
+        T::Key: Copy,
+        T::Val: Copy,
+    {
+        if self.count.load(Ordering::Relaxed) >= self.table.item_capacity() {
+            return Err(InsertError::TableFull);
+        }
+        // SAFETY: `run` provides the mutual exclusion `insert_ctx` needs.
+        let r = self.run(|ctx| unsafe { self.table.insert_ctx(ctx, key, val) });
+        if r.is_ok() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Looks up `key` under the lock.
+    pub fn get(&self, key: &T::Key) -> Option<T::Val> {
+        // SAFETY: as for `insert`.
+        self.run(|ctx| unsafe { self.table.get_ctx(ctx, key) })
+    }
+
+    /// Removes `key` under the lock.
+    pub fn remove(&self, key: &T::Key) -> Option<T::Val> {
+        // SAFETY: as for `insert`.
+        let r = self.run(|ctx| unsafe { self.table.remove_ctx(ctx, key) });
+        if r.is_some() {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum items.
+    pub fn capacity(&self) -> usize {
+        self.table.item_capacity()
+    }
+
+    /// Bytes occupied by the table storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+    }
+
+    /// Transactional statistics when elided.
+    pub fn htm_stats(&self) -> Option<StatsSnapshot> {
+        match &self.lock {
+            LockImpl::Mutex(_) => None,
+            LockImpl::Elided(l) => Some(l.stats().snapshot()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTable;
+    use std::collections::hash_map::RandomState;
+
+    fn dense(kind: LockKind) -> Locked<DenseTable<u64, u64>> {
+        Locked::new(
+            DenseTable::with_capacity_and_hasher(10_000, RandomState::new()),
+            kind,
+        )
+    }
+
+    #[test]
+    fn crud_under_each_lock_kind() {
+        for kind in [
+            LockKind::Global,
+            LockKind::ElidedGlibc,
+            LockKind::ElidedOptimized,
+        ] {
+            let m = dense(kind);
+            for k in 0..1000u64 {
+                m.insert(k, k + 1).unwrap();
+            }
+            assert_eq!(m.insert(0, 0), Err(InsertError::KeyExists), "{kind:?}");
+            for k in 0..1000u64 {
+                assert_eq!(m.get(&k), Some(k + 1), "{kind:?}");
+            }
+            assert_eq!(m.remove(&500), Some(501), "{kind:?}");
+            assert_eq!(m.len(), 999, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_serialize_correctly() {
+        for kind in [LockKind::Global, LockKind::ElidedOptimized] {
+            let m = dense(kind);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let m = &m;
+                    s.spawn(move || {
+                        for i in 0..1000u64 {
+                            m.insert(t * 100_000 + i, i).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(m.len(), 4000, "{kind:?}");
+            for t in 0..4u64 {
+                for i in 0..1000u64 {
+                    assert_eq!(m.get(&(t * 100_000 + i)), Some(i), "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elided_reports_abort_statistics() {
+        let m = dense(LockKind::ElidedGlibc);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.insert(t * 100_000 + i, i).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = m.htm_stats().unwrap();
+        assert_eq!(stats.commits + stats.fallbacks, 2000);
+        assert!(m.htm_stats().unwrap().starts >= 2000);
+        assert!(dense(LockKind::Global).htm_stats().is_none());
+    }
+}

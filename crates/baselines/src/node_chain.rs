@@ -1,0 +1,390 @@
+//! C++11 `std::unordered_map` analog (paper §2.1).
+//!
+//! "C++11 introduces an unordered_map implemented as a separate chaining
+//! hash table. It has very fast lookup performance, but also at the cost
+//! of more memory usage." The cost the paper cares about for small
+//! key-value pairs is the **per-entry node**: every item carries a chain
+//! pointer, and the bucket array on top of that. This implementation
+//! keeps that cost structure — one node per entry, one link per node,
+//! a head per bucket — while drawing nodes from a pre-allocated arena
+//! with an intrusive freelist, for two reasons:
+//!
+//! 1. The paper's §5 finding: dynamic allocation inside a transactional
+//!    region aborts (system calls); pre-allocation is the fix it
+//!    recommends ("it is therefore useful to pre-allocate structures that
+//!    may be needed inside the transactional region").
+//! 2. Index links (`u32`) let the whole structure run through
+//!    [`htm::MemCtx`] for genuine elided execution.
+
+use crate::locked::CtxTable;
+use crate::InsertError;
+use core::cell::UnsafeCell;
+use core::hash::{BuildHasher, Hash};
+use core::mem::MaybeUninit;
+use htm::{Abort, DirectCtx, MemCtx, Plain};
+use std::collections::hash_map::RandomState;
+
+/// Chain terminator / empty freelist marker.
+const NIL: u32 = u32::MAX;
+
+/// Arena-backed separate-chaining storage with `MemCtx`-generic ops.
+pub struct NodeChainTable<K, V, S = RandomState> {
+    heads: Box<[UnsafeCell<u32>]>,
+    next: Box<[UnsafeCell<u32>]>,
+    keys: Box<[UnsafeCell<MaybeUninit<K>>]>,
+    vals: Box<[UnsafeCell<MaybeUninit<V>>]>,
+    free_head: UnsafeCell<u32>,
+    mask: usize,
+    hash_builder: S,
+}
+
+// SAFETY: inert storage; concurrent access is mediated by the caller's
+// lock/transaction discipline, and `Plain` entries carry no drop
+// obligations.
+unsafe impl<K: Plain + Send + Sync, V: Plain + Send + Sync, S: Send + Sync> Sync
+    for NodeChainTable<K, V, S>
+{
+}
+// SAFETY: as above.
+unsafe impl<K: Plain + Send, V: Plain + Send, S: Send> Send for NodeChainTable<K, V, S> {}
+
+impl<K, V, S> NodeChainTable<K, V, S>
+where
+    K: Plain + Eq + Hash,
+    V: Plain,
+    S: BuildHasher,
+{
+    /// Creates a table with `capacity` pre-allocated nodes and one bucket
+    /// per expected item (load factor ≈ 1, the `unordered_map` default).
+    pub fn with_capacity_and_hasher(capacity: usize, hash_builder: S) -> Self {
+        let capacity = capacity.max(8);
+        let buckets = capacity.next_power_of_two();
+        let next: Box<[UnsafeCell<u32>]> = (0..capacity)
+            .map(|i| {
+                UnsafeCell::new(if i + 1 < capacity {
+                    (i + 1) as u32
+                } else {
+                    NIL
+                })
+            })
+            .collect();
+        NodeChainTable {
+            heads: (0..buckets).map(|_| UnsafeCell::new(NIL)).collect(),
+            next,
+            keys: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            vals: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            free_head: UnsafeCell::new(0),
+            mask: buckets - 1,
+            hash_builder,
+        }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Bytes occupied: bucket heads + per-node link/key/value arrays.
+    /// This is the "more memory usage" the paper attributes to chaining:
+    /// compare against a cuckoo table of the same item capacity.
+    pub fn table_memory_bytes(&self) -> usize {
+        self.heads.len() * 4
+            + self.next.len()
+                * (4 + core::mem::size_of::<K>() + core::mem::size_of::<V>())
+            + 8
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &K) -> usize {
+        (self.hash_builder.hash_one(key) as usize) & self.mask
+    }
+}
+
+impl<K, V, S> CtxTable for NodeChainTable<K, V, S>
+where
+    K: Plain + Eq + Hash,
+    V: Plain,
+    S: BuildHasher,
+{
+    type Key = K;
+    type Val = V;
+
+    unsafe fn insert_ctx<C: MemCtx>(
+        &self,
+        ctx: &mut C,
+        key: K,
+        val: V,
+    ) -> Result<Result<(), InsertError>, Abort> {
+        let bucket = self.bucket_of(&key);
+        // Duplicate scan.
+        // SAFETY: all pointers derive from arena storage that outlives
+        // the critical section; indices are validated against the arena
+        // length by construction (they only ever come from our own
+        // stores).
+        let head = unsafe { ctx.load(self.heads[bucket].get())? };
+        let mut cursor = head;
+        while cursor != NIL {
+            let i = cursor as usize;
+            // SAFETY: as above.
+            let k = unsafe { ctx.load(self.keys[i].get().cast::<K>())? };
+            if k == key {
+                return Ok(Err(InsertError::KeyExists));
+            }
+            // SAFETY: as above.
+            cursor = unsafe { ctx.load(self.next[i].get())? };
+        }
+        // Pop a node from the freelist.
+        // SAFETY: as above.
+        let node = unsafe { ctx.load(self.free_head.get())? };
+        if node == NIL {
+            return Ok(Err(InsertError::TableFull));
+        }
+        let ni = node as usize;
+        // SAFETY: as above; the freelist node's storage is dead and ours.
+        unsafe {
+            let free_next = ctx.load(self.next[ni].get())?;
+            ctx.store(self.free_head.get(), free_next)?;
+            ctx.store(self.keys[ni].get().cast::<K>(), key)?;
+            ctx.store(self.vals[ni].get().cast::<V>(), val)?;
+            ctx.store(self.next[ni].get(), head)?;
+            ctx.store(self.heads[bucket].get(), node)?;
+        }
+        Ok(Ok(()))
+    }
+
+    unsafe fn get_ctx<C: MemCtx>(&self, ctx: &mut C, key: &K) -> Result<Option<V>, Abort> {
+        let bucket = self.bucket_of(key);
+        // SAFETY: as in `insert_ctx`.
+        let mut cursor = unsafe { ctx.load(self.heads[bucket].get())? };
+        while cursor != NIL {
+            let i = cursor as usize;
+            // SAFETY: as above.
+            let k = unsafe { ctx.load(self.keys[i].get().cast::<K>())? };
+            if k == *key {
+                // SAFETY: as above.
+                return Ok(Some(unsafe { ctx.load(self.vals[i].get().cast::<V>())? }));
+            }
+            // SAFETY: as above.
+            cursor = unsafe { ctx.load(self.next[i].get())? };
+        }
+        Ok(None)
+    }
+
+    unsafe fn remove_ctx<C: MemCtx>(&self, ctx: &mut C, key: &K) -> Result<Option<V>, Abort> {
+        let bucket = self.bucket_of(key);
+        // SAFETY: as in `insert_ctx`.
+        let mut cursor = unsafe { ctx.load(self.heads[bucket].get())? };
+        let mut prev: u32 = NIL;
+        while cursor != NIL {
+            let i = cursor as usize;
+            // SAFETY: as above.
+            let k = unsafe { ctx.load(self.keys[i].get().cast::<K>())? };
+            if k == *key {
+                // SAFETY: as above.
+                unsafe {
+                    let v = ctx.load(self.vals[i].get().cast::<V>())?;
+                    let after = ctx.load(self.next[i].get())?;
+                    if prev == NIL {
+                        ctx.store(self.heads[bucket].get(), after)?;
+                    } else {
+                        ctx.store(self.next[prev as usize].get(), after)?;
+                    }
+                    // Push the node back on the freelist.
+                    let free = ctx.load(self.free_head.get())?;
+                    ctx.store(self.next[i].get(), free)?;
+                    ctx.store(self.free_head.get(), cursor)?;
+                    return Ok(Some(v));
+                }
+            }
+            prev = cursor;
+            // SAFETY: as above.
+            cursor = unsafe { ctx.load(self.next[i].get())? };
+        }
+        Ok(None)
+    }
+
+    fn item_capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table_memory_bytes()
+    }
+}
+
+/// Safe single-threaded owner of a [`NodeChainTable`].
+pub struct NodeChainMap<K, V, S = RandomState> {
+    table: NodeChainTable<K, V, S>,
+    len: usize,
+}
+
+impl<K, V> NodeChainMap<K, V, RandomState>
+where
+    K: Plain + Eq + Hash,
+    V: Plain,
+{
+    /// Creates a map with `capacity` pre-allocated nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeChainMap {
+            table: NodeChainTable::with_capacity_and_hasher(capacity, RandomState::new()),
+            len: 0,
+        }
+    }
+}
+
+impl<K, V, S> NodeChainMap<K, V, S>
+where
+    K: Plain + Eq + Hash,
+    V: Plain,
+    S: BuildHasher,
+{
+    /// Inserts `key → val`.
+    pub fn insert(&mut self, key: K, val: V) -> Result<(), InsertError> {
+        let mut ctx = DirectCtx::new();
+        // SAFETY: `&mut self` provides mutual exclusion.
+        let r = unsafe { self.table.insert_ctx(&mut ctx, key, val) }
+            .expect("direct ctx cannot abort");
+        if r.is_ok() {
+            self.len += 1;
+        }
+        r
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut ctx = DirectCtx::new();
+        // SAFETY: `&self` excludes writers (they need `&mut self`).
+        unsafe { self.table.get_ctx(&mut ctx, key) }.expect("direct ctx cannot abort")
+    }
+
+    /// Removes `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut ctx = DirectCtx::new();
+        // SAFETY: `&mut self` provides mutual exclusion.
+        let r = unsafe { self.table.remove_ctx(&mut ctx, key) }.expect("direct ctx cannot abort");
+        if r.is_some() {
+            self.len -= 1;
+        }
+        r
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> usize {
+        self.table.item_capacity()
+    }
+
+    /// Bytes occupied.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.table_memory_bytes()
+    }
+}
+
+/// Global-lock (optionally elided) concurrent wrapper.
+pub type ConcurrentNodeChain<K, V, S = RandomState> =
+    crate::locked::Locked<NodeChainTable<K, V, S>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_chains() {
+        let mut m: NodeChainMap<u64, u64> = NodeChainMap::with_capacity(1000);
+        for k in 0..800u64 {
+            m.insert(k, k * 3).unwrap();
+        }
+        assert_eq!(m.len(), 800);
+        assert_eq!(m.insert(1, 0), Err(InsertError::KeyExists));
+        for k in 0..800u64 {
+            assert_eq!(m.get(&k), Some(k * 3));
+        }
+        assert_eq!(m.get(&9999), None);
+        // Remove from head, middle, tail of chains.
+        for k in (0..800u64).step_by(3) {
+            assert_eq!(m.remove(&k), Some(k * 3));
+        }
+        for k in 0..800u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k * 3) };
+            assert_eq!(m.get(&k), expect);
+        }
+    }
+
+    #[test]
+    fn arena_exhaustion_reports_full() {
+        let mut m: NodeChainMap<u64, u64> = NodeChainMap::with_capacity(64);
+        let cap = m.capacity() as u64;
+        for k in 0..cap {
+            m.insert(k, k).unwrap();
+        }
+        assert_eq!(m.insert(u64::MAX, 0), Err(InsertError::TableFull));
+        // Freeing one node makes room for exactly one more.
+        m.remove(&0).unwrap();
+        m.insert(u64::MAX, 7).unwrap();
+        assert_eq!(m.get(&u64::MAX), Some(7));
+    }
+
+    #[test]
+    fn freelist_recycles_under_churn() {
+        let mut m: NodeChainMap<u64, u64> = NodeChainMap::with_capacity(128);
+        for round in 0..50u64 {
+            for k in 0..100u64 {
+                m.insert(round * 1000 + k, k).unwrap();
+            }
+            for k in 0..100u64 {
+                assert_eq!(m.remove(&(round * 1000 + k)), Some(k));
+            }
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn memory_overhead_exceeds_flat_storage() {
+        // The paper's point: node chaining costs extra memory per small
+        // item versus pointer-free cuckoo buckets.
+        let m: NodeChainMap<u64, u64> = NodeChainMap::with_capacity(1 << 10);
+        let per_item = m.memory_bytes() as f64 / (1 << 10) as f64;
+        assert!(
+            per_item > 20.0,
+            "per-item bytes {per_item} should exceed the raw 16B payload"
+        );
+    }
+
+    #[test]
+    fn elided_node_chain_concurrent() {
+        let m: ConcurrentNodeChain<u64, u64> = crate::locked::Locked::new(
+            NodeChainTable::with_capacity_and_hasher(10_000, RandomState::new()),
+            crate::locked::LockKind::ElidedOptimized,
+        );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        m.insert(t * 100_000 + i, i).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4000);
+        for t in 0..4u64 {
+            for i in 0..1000u64 {
+                assert_eq!(m.get(&(t * 100_000 + i)), Some(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Memory-efficiency comparison (§6.2): "Cuckoo+ retains the memory
+//! efficiency advantages of the core Cuckoo design: it uses 2-3x less
+//! memory for these small key-value objects, occupying only about 2GB of
+//! DRAM versus TBB's 6GB."
+
+use baselines::locked::{LockKind, Locked};
+use baselines::{dense::DenseTable, node_chain::NodeChainTable, ChainingMap};
+use bench::{banner, slots};
+use cuckoo::{CuckooMap, OptimisticCuckooMap};
+use std::collections::hash_map::RandomState;
+use workload::driver::{run_fill, FillSpec};
+use workload::report::{mib, Table};
+use workload::{BenchValue, ConcurrentMap};
+
+fn measure<V, M>(name: &str, map: M, fill_to: f64, table: &mut Table)
+where
+    V: BenchValue,
+    M: ConcurrentMap<V>,
+{
+    let spec = FillSpec {
+        threads: 2,
+        insert_ratio: 1.0,
+        fill_to,
+        windows: vec![],
+    };
+    let report = run_fill(&map, &spec);
+    let items = map.items();
+    let bytes = map.mem_bytes();
+    table.row(vec![
+        name.into(),
+        items.to_string(),
+        mib(bytes),
+        format!("{:.1}", bytes as f64 / items.max(1) as f64),
+        format!("{:.2}", report.achieved_load),
+    ]);
+}
+
+fn main() {
+    banner("§6.2 memory table", "bytes per 8B/8B item across designs");
+    let n = slots();
+    let mut table = Table::new(
+        "Memory efficiency at high fill (8-byte keys and values)",
+        &["table", "items", "memory", "bytes/item", "achieved load"],
+    );
+
+    measure::<u64, _>(
+        "cuckoo+ FG 8-way",
+        OptimisticCuckooMap::<u64, u64, 8>::with_capacity(n),
+        0.95,
+        &mut table,
+    );
+    measure::<u64, _>(
+        "libcuckoo-style map",
+        CuckooMap::<u64, u64, 8>::with_capacity(n),
+        0.95,
+        &mut table,
+    );
+    measure::<u64, _>(
+        "TBB-style chaining",
+        ChainingMap::<u64, u64>::with_capacity(n),
+        0.95,
+        &mut table,
+    );
+    measure::<u64, _>(
+        "std::unordered analog",
+        Locked::new(
+            NodeChainTable::<u64, u64>::with_capacity_and_hasher(n, RandomState::new()),
+            LockKind::Global,
+        ),
+        0.95,
+        &mut table,
+    );
+    measure::<u64, _>(
+        "dense_hash_map analog",
+        Locked::new(
+            DenseTable::<u64, u64>::with_capacity_and_hasher(n, RandomState::new()),
+            LockKind::Global,
+        ),
+        0.95,
+        &mut table,
+    );
+
+    table.print();
+    let _ = table.write_csv("memory_table");
+    println!(
+        "\npaper shape: pointer-free cuckoo buckets at ~95% occupancy use \
+         2-3x less memory per small item than node-based chaining; dense \
+         hashing pays its 0.5 max load factor."
+    );
+}

@@ -1,0 +1,139 @@
+//! Shared configuration for the figure benches.
+//!
+//! Every table and figure from the paper's evaluation (§6) has a
+//! `harness = false` bench target in `benches/`; this module provides the
+//! scaling knobs so the whole suite completes in minutes on a laptop
+//! while preserving the load-factor-dependent behavior the paper studies
+//! (occupancy, not absolute size, drives cuckoo-path statistics).
+//!
+//! Environment variables:
+//!
+//! - `CUCKOO_BENCH_SLOTS_POW` — log2 of the default table slot count
+//!   (default 18 → 262 144 slots; the paper used 2²⁷).
+//! - `CUCKOO_BENCH_THREADS` — comma-separated thread counts for scaling
+//!   sweeps (default `1,2,4,8`).
+//! - `CUCKOO_BENCH_REPS` — repetitions averaged per data point
+//!   (default 1; the paper used 10).
+
+use workload::adapter::{BenchValue, ConcurrentMap};
+use workload::driver::{run_fill, FillReport, FillSpec};
+
+/// log2 of the default table slot count.
+pub fn slots_pow() -> u32 {
+    std::env::var("CUCKOO_BENCH_SLOTS_POW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(18)
+}
+
+/// Default table slot count.
+pub fn slots() -> usize {
+    1usize << slots_pow()
+}
+
+/// Thread counts for scaling sweeps.
+pub fn thread_counts() -> Vec<usize> {
+    std::env::var("CUCKOO_BENCH_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Repetitions per data point.
+pub fn reps() -> usize {
+    std::env::var("CUCKOO_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Runs the fill workload `reps()` times on fresh tables from `make`,
+/// averaging the report fields.
+pub fn fill_avg<V, M, F>(make: F, spec: &FillSpec) -> FillReport
+where
+    V: BenchValue,
+    M: ConcurrentMap<V>,
+    F: Fn() -> M,
+{
+    let mut reports: Vec<FillReport> = Vec::new();
+    for _ in 0..reps() {
+        let map = make();
+        reports.push(run_fill(&map, spec));
+    }
+    average(reports)
+}
+
+/// Averages fill reports (NaN windows propagate as NaN-aware means).
+pub fn average(reports: Vec<FillReport>) -> FillReport {
+    assert!(!reports.is_empty());
+    let n = reports.len() as f64;
+    let windows = reports[0].window_mops.len();
+    let mut avg = reports[0].clone();
+    avg.overall_mops = reports.iter().map(|r| r.overall_mops).sum::<f64>() / n;
+    avg.window_mops = (0..windows)
+        .map(|w| {
+            let vals: Vec<f64> = reports
+                .iter()
+                .map(|r| r.window_mops[w])
+                .filter(|v| v.is_finite())
+                .collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect();
+    avg.total_ops = (reports.iter().map(|r| r.total_ops).sum::<u64>() as f64 / n) as u64;
+    avg.inserts = (reports.iter().map(|r| r.inserts).sum::<u64>() as f64 / n) as u64;
+    avg.hit_full = reports.iter().any(|r| r.hit_full);
+    avg
+}
+
+/// Standard banner so bench logs are self-describing.
+pub fn banner(figure: &str, what: &str) {
+    println!("\n######################################################");
+    println!("# {figure}: {what}");
+    println!(
+        "# slots=2^{} threads={:?} reps={} (scale with CUCKOO_BENCH_* envs)",
+        slots_pow(),
+        thread_counts(),
+        reps()
+    );
+    println!("# machine note: results collected on whatever this host is;");
+    println!("# compare *shapes* against the paper, not absolute Mops.");
+    println!("######################################################");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert!(slots() >= 1 << 10);
+        assert!(!thread_counts().is_empty());
+        assert!(reps() >= 1);
+    }
+
+    #[test]
+    fn average_handles_nan_windows() {
+        let mk = |overall: f64, w: f64| FillReport {
+            total_ops: 100,
+            inserts: 100,
+            elapsed: std::time::Duration::from_secs(1),
+            overall_mops: overall,
+            window_mops: vec![w],
+            achieved_load: 0.95,
+            hit_full: false,
+        };
+        let avg = average(vec![mk(1.0, f64::NAN), mk(3.0, 4.0)]);
+        assert_eq!(avg.overall_mops, 2.0);
+        assert_eq!(avg.window_mops[0], 4.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Sharded element counters (paper principle P1).
+//!
+//! "Avoid unnecessary or unintentional access to common data ... disable
+//! instant global statistics counters in favor of lazily aggregated
+//! per-thread counters." A single `AtomicUsize` element count would put
+//! one hot cache line under every writer; instead writers bump one of 64
+//! cache-line-padded shards chosen by bucket index, and `len()` sums them
+//! on demand.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+const SHARDS: usize = 64;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicIsize);
+
+/// A sharded signed counter; sums are exact at quiescence and
+/// monotonically convergent under concurrency.
+pub struct ShardedCounter {
+    shards: Box<[Shard]>,
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        ShardedCounter {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Adds `delta` to the shard associated with `hint` (callers pass a
+    /// bucket index so contending writers usually touch different lines).
+    #[inline]
+    pub fn add(&self, hint: usize, delta: isize) {
+        self.shards[hint & (SHARDS - 1)].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sums all shards (non-negative by construction of table ops).
+    pub fn sum(&self) -> usize {
+        let total: isize = self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        debug_assert!(total >= 0, "counter went negative: {total}");
+        total.max(0) as usize
+    }
+
+    /// Resets every shard to zero (requires external quiescence to be
+    /// meaningful).
+    pub fn reset(&self) {
+        for s in self.shards.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes occupied (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.len() * core::mem::size_of::<Shard>()
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_across_shards() {
+        let c = ShardedCounter::new();
+        for i in 0..1000 {
+            c.add(i, 1);
+        }
+        assert_eq!(c.sum(), 1000);
+        for i in 0..300 {
+            c.add(i * 7, -1);
+        }
+        assert_eq!(c.sum(), 700);
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let c = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        c.add(t * 1000 + i, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum(), 40_000);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error and outcome types for table operations.
+
+/// Why an `Insert` could not complete (paper §2.1: "On Insert, the hash
+/// table returns success, or an error code to indicate whether the hash
+/// table is too full or the key already exists").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// No cuckoo path to an empty slot was found within the search budget:
+    /// the table is too full and an expansion is required.
+    TableFull,
+    /// The key is already present; its value was left untouched.
+    KeyExists,
+}
+
+impl core::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InsertError::TableFull => write!(f, "hash table too full to insert"),
+            InsertError::KeyExists => write!(f, "key already exists"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// What an upsert did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertOutcome {
+    /// The key was absent and has been inserted.
+    Inserted,
+    /// The key was present and its value has been replaced.
+    Updated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(InsertError::TableFull.to_string().contains("full"));
+        assert!(InsertError::KeyExists.to_string().contains("exists"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Concurrent multi-reader/multi-writer cuckoo hash tables.
+//!
+//! This crate reproduces the data structures from *Algorithmic
+//! Improvements for Fast Concurrent Cuckoo Hashing* (Li, Andersen,
+//! Kaminsky, Freedman — EuroSys 2014), the design that became
+//! [libcuckoo]. Three table flavors share the same storage, hashing, and
+//! path-search machinery:
+//!
+//! - [`OptimisticCuckooMap`] — **cuckoo+ with fine-grained locking**, the
+//!   paper's headline table (§4): optimistic lock-free reads validated by
+//!   striped version counters, BFS cuckoo-path discovery outside the
+//!   critical section, and per-displacement pair locking with striped
+//!   spinlocks.
+//! - [`ElidedCuckooMap`] — **cuckoo+ with (simulated) TSX lock elision**
+//!   (§5): the same algorithmic optimizations with a single elided global
+//!   lock; critical sections execute as transactions with genuine
+//!   conflict detection via the [`htm`] crate.
+//! - [`MemC3Cuckoo`] — the **baseline** multi-reader/*single*-writer
+//!   optimistic cuckoo table from MemC3, with configuration knobs
+//!   reproducing every step of the paper's factor analysis (Figure 5):
+//!   lock-later, BFS vs DFS, prefetch, and glibc vs optimized elision.
+//! - [`CuckooMap`] — a libcuckoo-style general-purpose map (§7):
+//!   arbitrary key/value types, locks for reads as well as writes, and
+//!   dynamic expansion.
+//!
+//! [libcuckoo]: https://github.com/efficient/libcuckoo
+//!
+//! # Quick start
+//!
+//! ```
+//! use cuckoo::OptimisticCuckooMap;
+//!
+//! // 8-way set-associative (the paper's default), 64-bit keys/values.
+//! let map: OptimisticCuckooMap<u64, u64> = OptimisticCuckooMap::with_capacity(10_000);
+//! map.insert(1, 100).unwrap();
+//! map.insert(2, 200).unwrap();
+//! assert_eq!(map.get(&1), Some(100));
+//! assert_eq!(map.remove(&2), Some(200));
+//! assert_eq!(map.get(&2), None);
+//! ```
+
+pub mod analysis;
+pub mod bucket;
+pub mod error;
+pub mod hash;
+pub mod hashing;
+pub mod prefetch;
+pub mod raw;
+pub mod search;
+pub mod stats;
+pub mod sync;
+
+mod counter;
+mod crit;
+mod elided;
+mod map;
+mod memc3;
+mod optimistic;
+mod read;
+
+pub use elided::ElidedCuckooMap;
+pub use error::{InsertError, UpsertOutcome};
+pub use hash::{DefaultHashBuilder, FxHasher64, RandomState, SipHashBuilder, SipHasher13};
+pub use htm::Plain;
+pub use map::CuckooMap;
+pub use memc3::{MemC3Config, MemC3Cuckoo, SearchKind, WriterLockKind};
+pub use optimistic::OptimisticCuckooMap;
+pub use stats::{PathStats, PathStatsSnapshot};
+
+/// The paper's default search budget `M`: maximum slots examined while
+/// looking for an empty slot before declaring the table too full
+/// (§4.3.2: "As used in MemC3, B = 4, M = 2000").
+pub const DEFAULT_MAX_SEARCH_SLOTS: usize = 2000;

@@ -1,0 +1,921 @@
+//! A libcuckoo-style general-purpose concurrent map (paper §7).
+//!
+//! The paper's research table trades generality for speed: fixed-size
+//! [`Plain`](htm::Plain) keys and values, no growth. §7 describes the
+//! production descendant, libcuckoo: "an easy-to-use interface that
+//! supports variable length key value pairs of arbitrary types, including
+//! those with pointers or strings, provides iterators, and dynamically
+//! resizes itself as it fills. The price of this generality is that it
+//! uses locks for reads as well as writes, so that pointer-valued items
+//! can be safely dereferenced."
+//!
+//! [`CuckooMap`] is that design:
+//!
+//! - arbitrary `K: Hash + Eq`, `V` (owned, dropped correctly);
+//! - **reads take the bucket-pair stripe lock** (no torn-value hazard, so
+//!   no `Plain` bound; 5–20 % slower than optimistic reads per the
+//!   paper);
+//! - inserts still use lock-free BFS path discovery — the search touches
+//!   only atomic metadata (occupancy bitmaps and tags), never keys — with
+//!   per-displacement pair-locked validated execution, exactly like
+//!   `cuckoo+`;
+//! - **automatic expansion**: when a path search fails, the table doubles
+//!   under the full-stripe lock and rehashes. Retired bucket arrays are
+//!   kept until drop so in-flight lock-free searches never dereference
+//!   freed memory (their stale paths simply fail validation).
+
+use crate::counter::ShardedCounter;
+use crate::error::{InsertError, UpsertOutcome};
+use crate::hash::DefaultHashBuilder;
+use crate::hashing::{key_slots, KeySlots};
+use crate::raw::RawTable;
+use crate::search::{self, bfs, PathEntry};
+use crate::sync::{LockStripes, DEFAULT_STRIPES};
+use crate::DEFAULT_MAX_SEARCH_SLOTS;
+use core::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// A dynamically-resizing concurrent cuckoo map for arbitrary key/value
+/// types (locked reads).
+///
+/// # Examples
+///
+/// ```
+/// use cuckoo::CuckooMap;
+///
+/// let m: CuckooMap<String, Vec<u32>> = CuckooMap::new();
+/// m.insert("a".into(), vec![1, 2])?;
+/// m.modify(&"a".to_string(), |v| v.push(3));
+/// assert_eq!(m.get_with(&"a".to_string(), |v| v.len()), Some(3));
+///
+/// // Consistent whole-table iteration under the table lock:
+/// let locked = m.lock_table();
+/// assert_eq!(locked.iter().count(), 1);
+/// # drop(locked);
+/// # Ok::<(), cuckoo::InsertError>(())
+/// ```
+pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
+    /// Current bucket array. Swapped (under all stripes) on expansion.
+    storage: AtomicPtr<RawTable<K, V, B>>,
+    stripes: LockStripes,
+    hash_builder: S,
+    count: ShardedCounter,
+    max_search_slots: usize,
+    /// Retired bucket arrays, kept so unlocked searchers racing an
+    /// expansion read live (if stale) memory.
+    graveyard: Mutex<Vec<Box<RawTable<K, V, B>>>>,
+}
+
+// SAFETY: the map owns its entries (moving the map moves them) and
+// synchronizes all shared access through the stripe locks; `K`/`V` cross
+// threads both by move (displacement, expansion) and by reference
+// (lookups), hence `Send + Sync` on both. The hasher is shared by
+// reference.
+unsafe impl<K: Send + Sync, V: Send + Sync, const B: usize, S: Send + Sync> Send
+    for CuckooMap<K, V, B, S>
+{
+}
+// SAFETY: as above.
+unsafe impl<K: Send + Sync, V: Send + Sync, const B: usize, S: Send + Sync> Sync
+    for CuckooMap<K, V, B, S>
+{
+}
+
+impl<K, V, const B: usize> CuckooMap<K, V, B, DefaultHashBuilder>
+where
+    K: Hash + Eq,
+{
+    /// Creates a map with at least `capacity` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, DefaultHashBuilder::new())
+    }
+
+    /// Creates an empty map with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl<K, V, const B: usize> Default for CuckooMap<K, V, B, DefaultHashBuilder>
+where
+    K: Hash + Eq,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, const B: usize, S> CuckooMap<K, V, B, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    /// Creates a map with an explicit hasher.
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: S) -> Self {
+        let raw = Box::new(RawTable::with_capacity(capacity));
+        CuckooMap {
+            storage: AtomicPtr::new(Box::into_raw(raw)),
+            stripes: LockStripes::new(DEFAULT_STRIPES),
+            hash_builder: hasher,
+            count: ShardedCounter::new(),
+            max_search_slots: DEFAULT_MAX_SEARCH_SLOTS,
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current bucket array.
+    ///
+    /// The reference is valid for `'_` (the borrow of `self`): bucket
+    /// arrays are only retired to the graveyard, never freed before the
+    /// map itself drops.
+    #[inline]
+    fn current(&self) -> &RawTable<K, V, B> {
+        // SAFETY: the pointer is always a live allocation per the
+        // graveyard discipline documented above.
+        unsafe { &*self.storage.load(Ordering::Acquire) }
+    }
+
+    #[inline]
+    fn is_current(&self, raw: &RawTable<K, V, B>) -> bool {
+        std::ptr::eq(self.storage.load(Ordering::Acquire), raw)
+    }
+
+    /// Looks up `key`, applying `f` to the value under the lock.
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        loop {
+            let raw = self.current();
+            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+            if !self.is_current(raw) {
+                continue; // expanded while we were locking
+            }
+            return match Self::locked_find(raw, ks, key) {
+                // SAFETY: pair lock held; the slot is occupied.
+                Some((bi, s)) => Some(f(unsafe { &*raw.bucket(bi).val_ptr(s) })),
+                None => None,
+            };
+        }
+    }
+
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    /// Inserts `key → val`; `Err(KeyExists)` leaves the old value.
+    ///
+    /// Expands the table automatically instead of returning
+    /// `Err(TableFull)`.
+    pub fn insert(&self, key: K, val: V) -> Result<(), InsertError> {
+        match self.insert_inner(key, val, false) {
+            Ok(UpsertOutcome::Inserted) => Ok(()),
+            Ok(UpsertOutcome::Updated) => unreachable!("non-upsert updated"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Inserts or replaces, returning which happened.
+    pub fn upsert(&self, key: K, val: V) -> UpsertOutcome {
+        self.insert_inner(key, val, true)
+            .expect("upsert cannot fail: expansion handles fullness")
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        loop {
+            let raw = self.current();
+            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+            if !self.is_current(raw) {
+                continue;
+            }
+            return match Self::locked_find(raw, ks, key) {
+                Some((bi, s)) => {
+                    // SAFETY: pair lock held; slot occupied.
+                    let (_, v) = unsafe { raw.take_entry(bi, s) };
+                    self.count.add(bi, -1);
+                    Some(v)
+                }
+                None => None,
+            };
+        }
+    }
+
+    /// Replaces the value of an existing key, returning the old value.
+    pub fn update(&self, key: &K, val: V) -> Option<V> {
+        loop {
+            let raw = self.current();
+            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+            if !self.is_current(raw) {
+                continue;
+            }
+            return match Self::locked_find(raw, ks, key) {
+                Some((bi, s)) => {
+                    // SAFETY: pair lock held; slot occupied.
+                    Some(std::mem::replace(
+                        unsafe { &mut *raw.bucket(bi).val_ptr(s) },
+                        val,
+                    ))
+                }
+                None => None,
+            };
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.count.sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current slot capacity (doubles on expansion).
+    pub fn capacity(&self) -> usize {
+        self.current().total_slots()
+    }
+
+    /// Fraction of slots occupied.
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Bytes used by the live bucket array, stripes, counters, and any
+    /// retired arrays still parked in the graveyard.
+    pub fn memory_bytes(&self) -> usize {
+        let graveyard: usize = self
+            .graveyard
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|t| t.memory_bytes())
+            .sum();
+        self.current().memory_bytes()
+            + self.stripes.memory_bytes()
+            + self.count.memory_bytes()
+            + graveyard
+    }
+
+    /// Frees retired bucket arrays. Callers must guarantee no concurrent
+    /// operations are in flight (hence `&mut self`).
+    pub fn purge_retired(&mut self) {
+        self.graveyard.get_mut().unwrap().clear();
+    }
+
+    /// Visits every entry under the full-table lock.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let _g = self.stripes.lock_all();
+        let raw = self.current();
+        for (bi, s) in raw.occupied_coords() {
+            let b = raw.bucket(bi);
+            // SAFETY: all stripes held; slots stable and occupied.
+            unsafe { f(&*b.key_ptr(s), &*b.val_ptr(s)) };
+        }
+    }
+
+    /// Clones every entry out (snapshot).
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    fn insert_inner(&self, key: K, val: V, upsert: bool) -> Result<UpsertOutcome, InsertError> {
+        let mut stale_retries = 0usize;
+        loop {
+            let raw = self.current();
+            let ks = key_slots(&self.hash_builder, &key, raw.mask());
+            // Fast path under the candidate pair lock.
+            {
+                let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.is_current(raw) {
+                    continue;
+                }
+                if let Some((bi, s)) = Self::locked_find(raw, ks, &key) {
+                    if upsert {
+                        // SAFETY: pair lock held; slot occupied.
+                        unsafe { *raw.bucket(bi).val_ptr(s) = val };
+                        return Ok(UpsertOutcome::Updated);
+                    }
+                    return Err(InsertError::KeyExists);
+                }
+                let mut target = None;
+                for bi in [ks.i1, ks.i2] {
+                    if let Some(slot) = raw.meta(bi).empty_slot() {
+                        target = Some((bi, slot));
+                        break;
+                    }
+                    if ks.i2 == ks.i1 {
+                        break;
+                    }
+                }
+                if let Some((bi, slot)) = target {
+                    // SAFETY: pair lock held; slot empty. Keys and values
+                    // move by plain writes — readers are locked out,
+                    // unlike the optimistic table.
+                    unsafe { raw.write_entry(bi, slot, ks.tag, key, val) };
+                    self.count.add(bi, 1);
+                    return Ok(UpsertOutcome::Inserted);
+                }
+            }
+
+            // Slow path: lock-free BFS over atomic metadata only (safe
+            // even for non-`Plain` keys — keys are never read).
+            let searched = search::with_scratch(|scratch| {
+                bfs::search(raw, ks.i1, ks.i2, self.max_search_slots, true, scratch)
+                    .map(|()| scratch.path.clone())
+            });
+            match searched {
+                Err(_) => {
+                    self.expand(raw);
+                    // Re-enter with the (possibly) new table.
+                }
+                Ok(path) => {
+                    if self.execute_path(raw, &path) {
+                        stale_retries = 0;
+                    } else {
+                        stale_retries += 1;
+                        if stale_retries > 16 {
+                            // Livelock escape hatch: force an expansion,
+                            // which completes under the full-table lock.
+                            self.expand(raw);
+                            stale_retries = 0;
+                        }
+                    }
+                }
+            }
+            // `key`/`val` were not consumed this round; loop.
+        }
+    }
+
+    /// Finds `key` in its candidate buckets; pair lock must be held.
+    fn locked_find(raw: &RawTable<K, V, B>, ks: KeySlots, key: &K) -> Option<(usize, usize)> {
+        for bi in [ks.i1, ks.i2] {
+            let b = raw.bucket(bi);
+            let m = raw.meta(bi);
+            let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
+            while cand != 0 {
+                let s = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                // SAFETY: pair lock held; slot occupied; no concurrent
+                // writer can mutate it.
+                if unsafe { &*b.key_ptr(s) } == key {
+                    return Some((bi, s));
+                }
+            }
+            if ks.i2 == ks.i1 {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Validated per-pair-locked path execution over `raw` (which must be
+    /// the table the path was discovered on; a concurrent expansion makes
+    /// every step fail validation or the current-table check).
+    fn execute_path(&self, raw: &RawTable<K, V, B>, path: &[PathEntry]) -> bool {
+        if path.len() < 2 {
+            return true;
+        }
+        for i in (0..path.len() - 1).rev() {
+            let src = path[i];
+            let dst = path[i + 1];
+            let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
+            if !self.is_current(raw) {
+                return false;
+            }
+            let sm = raw.meta(src.bucket);
+            let dm = raw.meta(dst.bucket);
+            let (ss, ds) = (src.slot as usize, dst.slot as usize);
+            if !sm.is_occupied(ss) || sm.partial(ss) != src.tag || dm.is_occupied(ds) {
+                return false;
+            }
+            // SAFETY: pair lock held; source occupied, destination empty.
+            // Destination written before source cleared (readers are
+            // locked, but the invariant costs nothing and keeps the
+            // discipline uniform).
+            unsafe {
+                let (k, v) = raw.take_entry(src.bucket, ss);
+                raw.write_entry(dst.bucket, ds, src.tag, k, v);
+            }
+        }
+        true
+    }
+
+    /// Doubles the table under the full-stripe lock and rehashes every
+    /// entry. `seen` is the table the caller found full; if another thread
+    /// already expanded, this returns immediately.
+    fn expand(&self, seen: &RawTable<K, V, B>) {
+        let _g = self.stripes.lock_all();
+        if !self.is_current(seen) {
+            return; // someone else already expanded
+        }
+        let old_ptr = self.storage.load(Ordering::Acquire);
+        // SAFETY: all stripes held — exclusive access to the live table.
+        let old = unsafe { &*old_ptr };
+
+        // Move every entry out of the old table.
+        let coords: Vec<(usize, usize)> = old.occupied_coords().collect();
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(coords.len());
+        for (bi, s) in coords {
+            // SAFETY: all stripes held; slot occupied.
+            entries.push(unsafe { old.take_entry(bi, s) });
+        }
+
+        // Rebuild at double the size; in the pathological case the rebuild
+        // itself fails, keep doubling.
+        let mut new_slots = old.total_slots() * 2;
+        let new = loop {
+            match self.try_rebuild(new_slots, &mut entries) {
+                Some(table) => break table,
+                None => new_slots *= 2,
+            }
+        };
+        debug_assert!(entries.is_empty());
+
+        self.storage.store(Box::into_raw(new), Ordering::Release);
+        // SAFETY: `old_ptr` came from `Box::into_raw` at construction or a
+        // previous expansion, and is no longer reachable as current.
+        let retired = unsafe { Box::from_raw(old_ptr) };
+        self.graveyard.lock().unwrap().push(retired);
+    }
+
+    /// Builds a table of `slots` capacity containing `entries` (drained on
+    /// success; restored on failure).
+    fn try_rebuild(
+        &self,
+        slots: usize,
+        entries: &mut Vec<(K, V)>,
+    ) -> Option<Box<RawTable<K, V, B>>> {
+        let table: Box<RawTable<K, V, B>> = Box::new(RawTable::with_capacity(slots));
+        let mut inserted: usize = 0;
+        let ok = search::with_scratch(|scratch| {
+            while let Some((k, v)) = entries.pop() {
+                let ks = key_slots(&self.hash_builder, &k, table.mask());
+                let mut target = None;
+                for bi in [ks.i1, ks.i2] {
+                    if let Some(slot) = table.meta(bi).empty_slot() {
+                        target = Some((bi, slot));
+                        break;
+                    }
+                    if ks.i2 == ks.i1 {
+                        break;
+                    }
+                }
+                if let Some((bi, slot)) = target {
+                    // SAFETY: the new table is private to this thread.
+                    unsafe { table.write_entry(bi, slot, ks.tag, k, v) };
+                    inserted += 1;
+                    continue;
+                }
+                if bfs::search(&table, ks.i1, ks.i2, self.max_search_slots, true, scratch)
+                    .is_err()
+                {
+                    entries.push((k, v));
+                    return false;
+                }
+                let path = scratch.path.clone();
+                for i in (0..path.len() - 1).rev() {
+                    let (src, dst) = (path[i], path[i + 1]);
+                    // SAFETY: private table; path valid (single-threaded).
+                    unsafe {
+                        let (mk, mv) = table.take_entry(src.bucket, src.slot as usize);
+                        table.write_entry(dst.bucket, dst.slot as usize, src.tag, mk, mv);
+                    }
+                }
+                let head = path[0];
+                // SAFETY: private table; head slot vacated.
+                unsafe { table.write_entry(head.bucket, head.slot as usize, ks.tag, k, v) };
+                inserted += 1;
+            }
+            true
+        });
+        if ok {
+            Some(table)
+        } else {
+            // Drain the partial table back into `entries` for the retry.
+            let coords: Vec<(usize, usize)> = table.occupied_coords().collect();
+            for (bi, s) in coords {
+                // SAFETY: private table; slots occupied.
+                entries.push(unsafe { table.take_entry(bi, s) });
+            }
+            debug_assert!(entries.len() >= inserted);
+            None
+        }
+    }
+}
+
+impl<K, V, const B: usize, S> CuckooMap<K, V, B, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    /// Locks the whole table and returns a guard providing consistent
+    /// iteration — libcuckoo's `lock_table()`. All concurrent operations
+    /// block until the guard drops.
+    pub fn lock_table(&self) -> LockedTable<'_, K, V, B, S> {
+        let guard = self.stripes.lock_all();
+        LockedTable { map: self, _guard: guard }
+    }
+
+    /// Returns a clone of `key`'s value, inserting `make()` first if the
+    /// key is absent.
+    ///
+    /// On a race where another thread inserts the key between the miss
+    /// and our insert, `make`'s value is discarded and the winner's value
+    /// is returned (so `make` may run without its result being used).
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V
+    where
+        K: Clone,
+        V: Clone,
+    {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        match self.insert(key.clone(), make()) {
+            Ok(()) => self.get(&key).expect("just inserted"),
+            Err(InsertError::KeyExists) => self.get(&key).expect("exists"),
+            Err(InsertError::TableFull) => unreachable!("insert expands instead"),
+        }
+    }
+
+    /// Applies `f` to `key`'s value in place under the lock; `false` when
+    /// absent.
+    pub fn modify(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
+        loop {
+            let raw = self.current();
+            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+            if !self.is_current(raw) {
+                continue;
+            }
+            return match Self::locked_find(raw, ks, key) {
+                Some((bi, s)) => {
+                    // SAFETY: pair lock held; slot occupied.
+                    f(unsafe { &mut *raw.bucket(bi).val_ptr(s) });
+                    true
+                }
+                None => false,
+            };
+        }
+    }
+
+    /// Removes every entry for which `f` returns `false`, under the
+    /// full-table lock. Returns how many entries were removed.
+    pub fn retain(&self, mut f: impl FnMut(&K, &V) -> bool) -> usize {
+        let _g = self.stripes.lock_all();
+        let raw = self.current();
+        let coords: Vec<(usize, usize)> = raw.occupied_coords().collect();
+        let mut removed = 0;
+        for (bi, s) in coords {
+            let b = raw.bucket(bi);
+            // SAFETY: all stripes held; slots stable and occupied.
+            let keep = unsafe { f(&*b.key_ptr(s), &*b.val_ptr(s)) };
+            if !keep {
+                // SAFETY: as above.
+                drop(unsafe { raw.take_entry(bi, s) });
+                self.count.add(bi, -1);
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+impl<K, V, const B: usize, S> core::fmt::Debug for CuckooMap<K, V, B, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CuckooMap")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("ways", &B)
+            .finish()
+    }
+}
+
+impl<K, V, const B: usize> FromIterator<(K, V)> for CuckooMap<K, V, B, DefaultHashBuilder>
+where
+    K: Hash + Eq,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let map = CuckooMap::with_capacity(iter.size_hint().0 * 2);
+        for (k, v) in iter {
+            let _ = map.insert(k, v); // later duplicates lose, like libcuckoo
+        }
+        map
+    }
+}
+
+/// Full-table lock guard with consistent iteration (libcuckoo's
+/// `locked_table`).
+pub struct LockedTable<'a, K, V, const B: usize, S> {
+    map: &'a CuckooMap<K, V, B, S>,
+    _guard: crate::sync::AllGuard<'a>,
+}
+
+impl<'a, K, V, const B: usize, S> LockedTable<'a, K, V, B, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    /// Iterates over `(&K, &V)` pairs.
+    pub fn iter(&self) -> LockedIter<'_, K, V, B> {
+        // SAFETY: the full-table guard excludes all writers for the
+        // iterator's lifetime.
+        LockedIter {
+            raw: self.map.current(),
+            bucket: 0,
+            slot: 0,
+        }
+    }
+
+    /// Number of entries (exact under the lock).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'a, 'g, K, V, const B: usize, S> IntoIterator for &'g LockedTable<'a, K, V, B, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    type Item = (&'g K, &'g V);
+    type IntoIter = LockedIter<'g, K, V, B>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`LockedTable`].
+pub struct LockedIter<'g, K, V, const B: usize> {
+    raw: &'g RawTable<K, V, B>,
+    bucket: usize,
+    slot: usize,
+}
+
+impl<'g, K, V, const B: usize> Iterator for LockedIter<'g, K, V, B> {
+    type Item = (&'g K, &'g V);
+
+    fn next(&mut self) -> Option<(&'g K, &'g V)> {
+        while self.bucket < self.raw.n_buckets() {
+            let b = self.raw.bucket(self.bucket);
+            let m = self.raw.meta(self.bucket);
+            while self.slot < B {
+                let s = self.slot;
+                self.slot += 1;
+                if m.is_occupied(s) {
+                    // SAFETY: the enclosing LockedTable holds every
+                    // stripe, so occupied slots are stable and
+                    // initialized for the iterator's lifetime.
+                    return Some(unsafe { (&*b.key_ptr(s), &*b.val_ptr(s)) });
+                }
+            }
+            self.slot = 0;
+            self.bucket += 1;
+        }
+        None
+    }
+}
+
+impl<K, V, const B: usize, S> Drop for CuckooMap<K, V, B, S> {
+    fn drop(&mut self) {
+        let ptr = *self.storage.get_mut();
+        if !ptr.is_null() {
+            // SAFETY: `ptr` came from `Box::into_raw` and is owned solely
+            // by this map.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        // graveyard drops via Mutex<Vec<Box<_>>>.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_keys_and_values() {
+        let m: CuckooMap<String, String> = CuckooMap::with_capacity(1000);
+        m.insert("hello".into(), "world".into()).unwrap();
+        m.insert("foo".into(), "bar".into()).unwrap();
+        assert_eq!(m.get(&"hello".to_string()), Some("world".to_string()));
+        assert_eq!(
+            m.insert("hello".into(), "x".into()),
+            Err(InsertError::KeyExists)
+        );
+        assert_eq!(m.update(&"foo".to_string(), "baz".into()), Some("bar".into()));
+        assert_eq!(m.remove(&"foo".to_string()), Some("baz".to_string()));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn upsert_and_get_with() {
+        let m: CuckooMap<u32, Vec<u8>> = CuckooMap::new();
+        assert_eq!(m.upsert(1, vec![1, 2, 3]), UpsertOutcome::Inserted);
+        assert_eq!(m.upsert(1, vec![4]), UpsertOutcome::Updated);
+        assert_eq!(m.get_with(&1, |v| v.len()), Some(1));
+        assert_eq!(m.get_with(&2, |v| v.len()), None);
+    }
+
+    #[test]
+    fn automatic_expansion_preserves_contents() {
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        let initial_cap = m.capacity();
+        let n = (initial_cap * 4) as u64;
+        for k in 0..n {
+            m.insert(k, k * 2).unwrap();
+        }
+        assert!(m.capacity() > initial_cap, "table must have expanded");
+        assert_eq!(m.len(), n as usize);
+        for k in 0..n {
+            assert_eq!(m.get(&k), Some(k * 2), "key {k} lost in expansion");
+        }
+    }
+
+    #[test]
+    fn drop_frees_owned_values() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        {
+            let m: CuckooMap<u64, Arc<()>> = CuckooMap::with_capacity(1000);
+            for k in 0..100 {
+                m.insert(k, Arc::clone(&sentinel)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&sentinel), 101);
+            m.remove(&0);
+            assert_eq!(Arc::strong_count(&sentinel), 100);
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn expansion_drops_nothing() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        let m: CuckooMap<u64, Arc<()>, 4> = CuckooMap::with_capacity(0);
+        let n = (m.capacity() * 3) as u64;
+        for k in 0..n {
+            m.insert(k, Arc::clone(&sentinel)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&sentinel), n as usize + 1);
+        drop(m);
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn concurrent_insert_during_expansion() {
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        const THREADS: u64 = 4;
+        const PER: u64 = 3_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let key = t * 1_000_000 + i;
+                        m.insert(key, key).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), (THREADS * PER) as usize);
+        for t in 0..THREADS {
+            for i in 0..PER {
+                let key = t * 1_000_000 + i;
+                assert_eq!(m.get(&key), Some(key));
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_and_snapshot() {
+        let m: CuckooMap<u64, u64> = CuckooMap::with_capacity(1000);
+        for k in 0..50 {
+            m.insert(k, k + 1).unwrap();
+        }
+        let mut count = 0;
+        m.for_each(|k, v| {
+            assert_eq!(*v, *k + 1);
+            count += 1;
+        });
+        assert_eq!(count, 50);
+        let mut snap = m.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap[0], (0, 1));
+        assert_eq!(snap.len(), 50);
+    }
+
+    #[test]
+    fn locked_table_iterates_consistently() {
+        let m: CuckooMap<u64, u64> = CuckooMap::with_capacity(1000);
+        for k in 0..200u64 {
+            m.insert(k, k * 2).unwrap();
+        }
+        let locked = m.lock_table();
+        assert_eq!(locked.len(), 200);
+        let mut seen: Vec<u64> = locked.iter().map(|(k, _)| *k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+        for (k, v) in &locked {
+            assert_eq!(*v, *k * 2);
+        }
+        drop(locked);
+        // Operations work again after the guard drops.
+        m.insert(1000, 1).unwrap();
+    }
+
+    #[test]
+    fn get_or_insert_with_semantics() {
+        let m: CuckooMap<String, u64> = CuckooMap::new();
+        assert_eq!(m.get_or_insert_with("a".into(), || 1), 1);
+        assert_eq!(m.get_or_insert_with("a".into(), || 2), 1, "existing wins");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn modify_in_place() {
+        let m: CuckooMap<u64, Vec<u8>> = CuckooMap::new();
+        m.insert(1, vec![1]).unwrap();
+        assert!(m.modify(&1, |v| v.push(9)));
+        assert_eq!(m.get(&1), Some(vec![1, 9]));
+        assert!(!m.modify(&2, |_| unreachable!("absent key")));
+    }
+
+    #[test]
+    fn retain_filters_and_counts() {
+        let m: CuckooMap<u64, u64> = CuckooMap::with_capacity(1000);
+        for k in 0..100u64 {
+            m.insert(k, k).unwrap();
+        }
+        let removed = m.retain(|k, _| k % 2 == 0);
+        assert_eq!(removed, 50);
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(&2), Some(2));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn from_iterator_and_debug() {
+        let m: CuckooMap<u64, u64> = (0..50u64).map(|k| (k, k + 1)).collect();
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(&10), Some(11));
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("CuckooMap"));
+        assert!(dbg.contains("len: 50"));
+    }
+
+    #[test]
+    fn retain_drops_removed_values() {
+        use std::sync::Arc;
+        let sentinel = Arc::new(());
+        let m: CuckooMap<u64, Arc<()>> = CuckooMap::with_capacity(100);
+        for k in 0..20 {
+            m.insert(k, Arc::clone(&sentinel)).unwrap();
+        }
+        m.retain(|k, _| *k < 5);
+        assert_eq!(Arc::strong_count(&sentinel), 6);
+    }
+
+    #[test]
+    fn purge_retired_reclaims_memory() {
+        let mut m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        let n = (m.capacity() * 8) as u64;
+        for k in 0..n {
+            m.insert(k, k).unwrap();
+        }
+        let before = m.memory_bytes();
+        m.purge_retired();
+        let after = m.memory_bytes();
+        assert!(after < before, "graveyard should have held memory");
+        for k in 0..n {
+            assert_eq!(m.get(&k), Some(k));
+        }
+    }
+}

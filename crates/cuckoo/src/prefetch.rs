@@ -1,0 +1,37 @@
+//! Software prefetching (paper §4.3.2, "Prefetching").
+//!
+//! BFS path search makes the schedule of buckets to visit predictable, so
+//! "before scanning one neighbor, the processor can load the
+//! next_neighbor in cache". On x86-64 this issues `prefetcht0`; on other
+//! architectures it is a no-op (a hint, never a semantic requirement).
+
+/// Hints the CPU to pull the cache line(s) at `ptr` into all cache levels.
+///
+/// Accepts any pointer; never dereferences it architecturally, so it is
+/// safe even for dangling pointers (the instruction is a hint).
+#[inline]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `prefetcht0` is a pure performance hint; it cannot fault on
+    // any address and has no architectural side effects.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prefetch_read;
+
+    #[test]
+    fn prefetch_never_faults() {
+        let v = [1u8; 128];
+        prefetch_read(v.as_ptr());
+        prefetch_read(core::ptr::null::<u8>());
+        prefetch_read(usize::MAX as *const u8);
+    }
+}

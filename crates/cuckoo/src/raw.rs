@@ -1,0 +1,362 @@
+//! The raw bucket array shared by every table flavor.
+//!
+//! A [`RawTable`] is pure storage: a power-of-two array of entry
+//! [`Bucket`]s, the parallel packed [`BucketMeta`] array (occupancy
+//! bitmaps + tags — everything path search reads), and the index mask.
+//! Concurrency control (striped locks, global locks, transactions) lives
+//! in the table types layered on top.
+
+use crate::bucket::{Bucket, BucketMeta};
+use crate::hashing;
+use htm::Plain;
+
+/// Power-of-two array of B-way buckets plus their metadata.
+pub struct RawTable<K, V, const B: usize> {
+    buckets: Box<[Bucket<K, V, B>]>,
+    meta: Box<[BucketMeta<B>]>,
+    mask: usize,
+}
+
+// SAFETY: the table owns its entries; transferring the whole table moves
+// them, which is safe exactly when the entry types are `Send`.
+unsafe impl<K: Send, V: Send, const B: usize> Send for RawTable<K, V, B> {}
+
+// SAFETY: shared access to the table hands out entry copies/references
+// across threads, requiring `Sync`; displacement also moves entries
+// between buckets while shared, requiring `Send`.
+unsafe impl<K: Send + Sync, V: Send + Sync, const B: usize> Sync for RawTable<K, V, B> {}
+
+impl<K, V, const B: usize> RawTable<K, V, B> {
+    /// Minimum bucket count: guarantees every tag's alternate bucket is
+    /// distinct from its primary (see [`crate::hashing::alt_index`]).
+    pub const MIN_BUCKETS: usize = 256;
+
+    /// Creates a table with at least `capacity` item slots, rounding the
+    /// bucket count up to a power of two.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let want_buckets = capacity.div_ceil(B).max(Self::MIN_BUCKETS);
+        let n = want_buckets.next_power_of_two();
+        RawTable {
+            buckets: (0..n).map(|_| Bucket::new()).collect(),
+            meta: (0..n).map(|_| BucketMeta::new()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of buckets (a power of two).
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket index mask (`n_buckets - 1`).
+    #[inline]
+    pub fn mask(&self) -> usize {
+        self.mask
+    }
+
+    /// Total item capacity (`n_buckets * B`).
+    #[inline]
+    pub fn total_slots(&self) -> usize {
+        self.n_buckets() * B
+    }
+
+    /// The entry storage of bucket `index`.
+    #[inline]
+    pub fn bucket(&self, index: usize) -> &Bucket<K, V, B> {
+        &self.buckets[index]
+    }
+
+    /// The metadata (occupancy + tags) of bucket `index`.
+    #[inline]
+    pub fn meta(&self, index: usize) -> &BucketMeta<B> {
+        &self.meta[index]
+    }
+
+    /// The alternate bucket index for an item with `tag` in `index`.
+    #[inline]
+    pub fn alt_index(&self, index: usize, tag: u8) -> usize {
+        hashing::alt_index(index, tag, self.mask)
+    }
+
+    /// Writes a full entry into `(bucket, slot)` and publishes it,
+    /// assuming exclusive write access to that bucket.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold whatever writer-side mutual exclusion covers
+    /// the bucket, and `slot` must currently be unoccupied (its storage
+    /// is treated as uninitialized).
+    pub unsafe fn write_entry(&self, bucket: usize, slot: usize, tag: u8, key: K, val: V) {
+        let m = self.meta(bucket);
+        debug_assert!(!m.is_occupied(slot));
+        m.set_partial(slot, tag);
+        let b = self.bucket(bucket);
+        // SAFETY: slot is unoccupied, so the storage is ours to
+        // initialize; exclusive write access per this function's contract.
+        unsafe {
+            b.key_ptr(slot).write(key);
+            b.val_ptr(slot).write(val);
+        }
+        m.set_occupied(slot);
+    }
+
+    /// Removes the entry at `(bucket, slot)`, returning its key and
+    /// value, assuming exclusive write access.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold writer-side mutual exclusion for the bucket
+    /// and `slot` must be occupied.
+    pub unsafe fn take_entry(&self, bucket: usize, slot: usize) -> (K, V) {
+        let m = self.meta(bucket);
+        debug_assert!(m.is_occupied(slot));
+        m.clear_occupied(slot);
+        let b = self.bucket(bucket);
+        // SAFETY: the slot was occupied, so both fields are initialized;
+        // after `clear_occupied` the storage is logically dead and we may
+        // move out of it.
+        unsafe { (b.key_ptr(slot).read(), b.val_ptr(slot).read()) }
+    }
+
+    /// Exact number of occupied slots. Only meaningful when writers are
+    /// quiescent (or all stripes are held); individual tables maintain
+    /// faster sharded counters for concurrent use.
+    pub fn count_occupied(&self) -> usize {
+        self.meta.iter().map(|m| m.occupied_count()).sum()
+    }
+
+    /// Bytes of memory the bucket and metadata arrays occupy.
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.len() * core::mem::size_of::<Bucket<K, V, B>>()
+            + self.meta.len() * core::mem::size_of::<BucketMeta<B>>()
+    }
+
+    /// Iterates over `(bucket_index, slot)` of every occupied slot.
+    ///
+    /// Only sound to *use* the yielded coordinates while writers are
+    /// excluded; the iteration itself reads only atomics.
+    pub fn occupied_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.meta.iter().enumerate().flat_map(|(bi, m)| {
+            let mask = m.occupied_mask();
+            (0..B).filter_map(move |s| {
+                if mask & (1 << s) != 0 {
+                    Some((bi, s))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl<K: Plain, V, const B: usize> RawTable<K, V, B> {
+    /// Racy-but-race-free copy of the key at `(bucket, slot)`, for
+    /// optimistic readers that validate a version counter afterwards.
+    ///
+    /// The returned value may be torn if a writer raced us — `K: Plain`
+    /// makes that merely a wrong value, which the caller's validation
+    /// discards.
+    ///
+    /// # Safety
+    ///
+    /// `slot < B`. (The slot need not be stably occupied.)
+    #[inline]
+    pub unsafe fn read_key_racy(&self, bucket: usize, slot: usize) -> K {
+        let mut out = core::mem::MaybeUninit::<K>::uninit();
+        // SAFETY: key storage is always valid bucket memory; racing
+        // writers are tolerated because the copy is per-chunk atomic.
+        unsafe {
+            htm::mem::load_bytes(
+                self.bucket(bucket).key_ptr(slot) as usize,
+                out.as_mut_ptr().cast::<u8>(),
+                core::mem::size_of::<K>(),
+            );
+            out.assume_init()
+        }
+    }
+}
+
+impl<K, V: Plain, const B: usize> RawTable<K, V, B> {
+    /// Racy-but-race-free copy of the value at `(bucket, slot)`; see
+    /// [`RawTable::read_key_racy`].
+    ///
+    /// # Safety
+    ///
+    /// `slot < B`.
+    #[inline]
+    pub unsafe fn read_val_racy(&self, bucket: usize, slot: usize) -> V {
+        let mut out = core::mem::MaybeUninit::<V>::uninit();
+        // SAFETY: as for `read_key_racy`.
+        unsafe {
+            htm::mem::load_bytes(
+                self.bucket(bucket).val_ptr(slot) as usize,
+                out.as_mut_ptr().cast::<u8>(),
+                core::mem::size_of::<V>(),
+            );
+            out.assume_init()
+        }
+    }
+}
+
+impl<K: Plain, V: Plain, const B: usize> RawTable<K, V, B> {
+    /// Writes a full entry with atomic-chunk stores, for writers whose
+    /// readers are optimistic (they may observe the write in progress and
+    /// must merely never see garbage *after validation passes*).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold writer-side mutual exclusion for the bucket
+    /// (and have made the covering version counter odd, so readers racing
+    /// these stores fail validation); `slot` must be unoccupied.
+    pub unsafe fn write_entry_racy(&self, bucket: usize, slot: usize, tag: u8, key: K, val: V) {
+        let m = self.meta(bucket);
+        debug_assert!(!m.is_occupied(slot));
+        m.set_partial(slot, tag);
+        let b = self.bucket(bucket);
+        // SAFETY: exclusive writer per contract; destination is bucket
+        // storage valid for K/V bytes.
+        unsafe {
+            htm::mem::store_bytes(
+                b.key_ptr(slot) as usize,
+                &key as *const K as *const u8,
+                core::mem::size_of::<K>(),
+            );
+            htm::mem::store_bytes(
+                b.val_ptr(slot) as usize,
+                &val as *const V as *const u8,
+                core::mem::size_of::<V>(),
+            );
+        }
+        m.set_occupied(slot);
+    }
+}
+
+impl<K, V, const B: usize> Drop for RawTable<K, V, B> {
+    fn drop(&mut self) {
+        if !core::mem::needs_drop::<K>() && !core::mem::needs_drop::<V>() {
+            return;
+        }
+        for (bi, m) in self.meta.iter().enumerate() {
+            let mask = m.occupied_mask();
+            for slot in 0..B {
+                if mask & (1 << slot) != 0 {
+                    let b = &self.buckets[bi];
+                    // SAFETY: `&mut self`; occupied slots hold initialized
+                    // values, dropped exactly once here.
+                    unsafe {
+                        core::ptr::drop_in_place(b.key_ptr(slot));
+                        core::ptr::drop_in_place(b.val_ptr(slot));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounding() {
+        let t: RawTable<u64, u64, 4> = RawTable::with_capacity(1000);
+        assert!(t.n_buckets().is_power_of_two());
+        assert!(t.total_slots() >= 1000);
+        assert_eq!(t.mask(), t.n_buckets() - 1);
+    }
+
+    #[test]
+    fn enforces_minimum_buckets() {
+        let t: RawTable<u64, u64, 8> = RawTable::with_capacity(1);
+        assert!(t.n_buckets() >= RawTable::<u64, u64, 8>::MIN_BUCKETS);
+    }
+
+    #[test]
+    fn alt_index_roundtrip_through_table() {
+        let t: RawTable<u64, u64, 4> = RawTable::with_capacity(4096);
+        for i in [0usize, 17, 300, t.mask()] {
+            for tag in [1u8, 77, 255] {
+                let a = t.alt_index(i, tag);
+                assert_ne!(a, i);
+                assert_eq!(t.alt_index(a, tag), i);
+            }
+        }
+    }
+
+    #[test]
+    fn write_take_roundtrip_and_occupancy() {
+        let t: RawTable<u32, u32, 4> = RawTable::with_capacity(1024);
+        assert_eq!(t.count_occupied(), 0);
+        // SAFETY: single-threaded exclusive access; slots unoccupied.
+        unsafe {
+            t.write_entry(3, 0, 9, 1, 2);
+            t.write_entry(3, 2, 9, 3, 4);
+            t.write_entry(100, 1, 5, 5, 6);
+        }
+        assert_eq!(t.count_occupied(), 3);
+        assert_eq!(t.meta(3).partial(0), 9);
+        let coords: Vec<_> = t.occupied_coords().collect();
+        assert_eq!(coords, vec![(3, 0), (3, 2), (100, 1)]);
+        // SAFETY: slot (3, 2) occupied.
+        let (k, v) = unsafe { t.take_entry(3, 2) };
+        assert_eq!((k, v), (3, 4));
+        assert_eq!(t.count_occupied(), 2);
+    }
+
+    #[test]
+    fn racy_ops_roundtrip_when_quiescent() {
+        let t: RawTable<u64, [u8; 24], 4> = RawTable::with_capacity(1024);
+        // SAFETY: single-threaded; slot unoccupied.
+        unsafe { t.write_entry_racy(7, 1, 3, 99, [5u8; 24]) };
+        // SAFETY: slot in range.
+        unsafe {
+            assert_eq!(t.read_key_racy(7, 1), 99);
+            assert_eq!(t.read_val_racy(7, 1), [5u8; 24]);
+        }
+        assert!(t.meta(7).is_occupied(1));
+    }
+
+    #[test]
+    fn drop_runs_for_occupied_slots_only() {
+        let counter = Arc::new(());
+        {
+            let t: RawTable<Arc<()>, Arc<()>, 4> = RawTable::with_capacity(1024);
+            // SAFETY: exclusive access; slots unoccupied.
+            unsafe {
+                t.write_entry(0, 0, 1, Arc::clone(&counter), Arc::clone(&counter));
+                t.write_entry(9, 3, 2, Arc::clone(&counter), Arc::clone(&counter));
+            }
+            assert_eq!(Arc::strong_count(&counter), 5);
+        }
+        assert_eq!(Arc::strong_count(&counter), 1, "drop freed occupied slots");
+    }
+
+    #[test]
+    fn take_entry_does_not_double_drop() {
+        let counter = Arc::new(());
+        {
+            let t: RawTable<Arc<()>, u8, 2> = RawTable::with_capacity(512);
+            // SAFETY: exclusive access.
+            unsafe {
+                t.write_entry(0, 0, 1, Arc::clone(&counter), 0);
+                let (k, _) = t.take_entry(0, 0);
+                drop(k);
+            }
+        }
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn memory_accounting_matches_paper_layout() {
+        // 8-way, 8B/8B: 128B of entries + 16B of metadata per bucket =
+        // 18B per slot (vs 24B/slot when metadata was inlined and padded).
+        let t: RawTable<u64, u64, 8> = RawTable::with_capacity(1 << 14);
+        let per_slot = t.memory_bytes() as f64 / t.total_slots() as f64;
+        assert!(
+            (17.5..18.5).contains(&per_slot),
+            "bytes/slot = {per_slot} (paper layout: 16B data + 2B metadata)"
+        );
+    }
+}

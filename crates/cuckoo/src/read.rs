@@ -1,0 +1,220 @@
+//! Lock-free optimistic reads (paper §4.2).
+//!
+//! Readers take no locks and dirty no cache lines: they stamp the version
+//! counters of both candidate buckets' stripes, scan the buckets with
+//! racy-but-race-free copies, and re-validate the stamps. Any concurrent
+//! writer — fine-grained locker (odd version while held), global-lock
+//! holder, or committing transaction (seqlock bumps around publication) —
+//! moves a stamp and sends the reader around again. Because writers move
+//! *holes* backwards rather than items forwards (§4.2), a present key is
+//! never missing mid-displacement; at worst it is momentarily duplicated,
+//! which a reader resolves to either copy (both carry the same value).
+
+use crate::hashing::KeySlots;
+use crate::raw::RawTable;
+use crate::sync::LockStripes;
+use htm::Plain;
+
+/// Optimistically reads `key`'s value.
+pub(crate) fn get<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    stripes: &LockStripes,
+    ks: KeySlots,
+    key: &K,
+) -> Option<V>
+where
+    K: Plain + Eq,
+    V: Plain,
+{
+    let mut watchdog = 0u64;
+    loop {
+        if let Some(result) = try_get(raw, stripes, ks, key) {
+            return result;
+        }
+        watchdog += 1;
+        debug_assert!(watchdog < 100_000_000, "optimistic get starved: ks={ks:?}");
+    }
+}
+
+/// One validated attempt; `None` means a writer interfered — retry.
+fn try_get<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    stripes: &LockStripes,
+    ks: KeySlots,
+    key: &K,
+) -> Option<Option<V>>
+where
+    K: Plain + Eq,
+    V: Plain,
+{
+    let s1 = stripes.stripe(ks.i1);
+    let s2 = stripes.stripe(ks.i2);
+    let same_stripe = stripes.stripe_of(ks.i1) == stripes.stripe_of(ks.i2);
+
+    let st1 = s1.read_begin();
+    let st2 = if same_stripe { st1 } else { s2.read_begin() };
+
+    let mut found: Option<V> = None;
+    'scan: for bucket_idx in [ks.i1, ks.i2] {
+        let m = raw.meta(bucket_idx);
+        // SWAR: all candidate slots (tag match AND occupied) in two loads.
+        let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
+        while cand != 0 {
+            let slot = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            // SAFETY: `slot < B`; racy copies are discarded unless the
+            // stamps validate below.
+            let k = unsafe { raw.read_key_racy(bucket_idx, slot) };
+            if k == *key {
+                // SAFETY: as above.
+                found = Some(unsafe { raw.read_val_racy(bucket_idx, slot) });
+                break 'scan;
+            }
+        }
+        if ks.i2 == ks.i1 {
+            break;
+        }
+    }
+
+    let valid = s1.read_validate(st1) && (same_stripe || s2.read_validate(st2));
+    if valid {
+        Some(found)
+    } else {
+        None
+    }
+}
+
+/// Optimistically checks for `key`'s presence (a value-copy-free `get`).
+pub(crate) fn contains<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    stripes: &LockStripes,
+    ks: KeySlots,
+    key: &K,
+) -> bool
+where
+    K: Plain + Eq,
+{
+    loop {
+        let s1 = stripes.stripe(ks.i1);
+        let s2 = stripes.stripe(ks.i2);
+        let same_stripe = stripes.stripe_of(ks.i1) == stripes.stripe_of(ks.i2);
+        let st1 = s1.read_begin();
+        let st2 = if same_stripe { st1 } else { s2.read_begin() };
+
+        let mut found = false;
+        'scan: for bucket_idx in [ks.i1, ks.i2] {
+            let m = raw.meta(bucket_idx);
+            let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
+            while cand != 0 {
+                let slot = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                // SAFETY: `slot < B`; validated below.
+                if unsafe { raw.read_key_racy(bucket_idx, slot) } == *key {
+                    found = true;
+                    break 'scan;
+                }
+            }
+            if ks.i2 == ks.i1 {
+                break;
+            }
+        }
+
+        if s1.read_validate(st1) && (same_stripe || s2.read_validate(st2)) {
+            return found;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::RandomState;
+    use crate::hashing::key_slots;
+
+    #[test]
+    fn get_and_contains_roundtrip() {
+        let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(1 << 12);
+        let stripes = LockStripes::new(64);
+        let hb = RandomState::with_seed(3);
+        for key in 0..500u64 {
+            let ks = key_slots(&hb, &key, raw.mask());
+            // Place directly via a locked-writer protocol.
+            let g = stripes.lock_pair(ks.i1, ks.i2);
+            let slot = raw.meta(ks.i1).empty_slot().expect("low occupancy");
+            // SAFETY: pair lock held.
+            unsafe { raw.write_entry_racy(ks.i1, slot, ks.tag, key, key * 3) };
+            drop(g);
+        }
+        for key in 0..500u64 {
+            let ks = key_slots(&hb, &key, raw.mask());
+            assert_eq!(get(&raw, &stripes, ks, &key), Some(key * 3));
+            assert!(contains(&raw, &stripes, ks, &key));
+        }
+        for key in 500..600u64 {
+            let ks = key_slots(&hb, &key, raw.mask());
+            assert_eq!(get(&raw, &stripes, ks, &key), None);
+            assert!(!contains(&raw, &stripes, ks, &key));
+        }
+    }
+
+    #[test]
+    fn tag_collision_with_different_key_is_not_a_hit() {
+        let raw: RawTable<u64, u64, 4> = RawTable::with_capacity(4096);
+        let stripes = LockStripes::new(16);
+        let hb = RandomState::with_seed(5);
+        let ks = key_slots(&hb, &123u64, raw.mask());
+        // A *different* key with the same tag in the same bucket.
+        // SAFETY: single-threaded.
+        unsafe { raw.write_entry_racy(ks.i1, 0, ks.tag, 999u64, 7u64) };
+        assert_eq!(get(&raw, &stripes, ks, &123u64), None);
+        assert!(!contains(&raw, &stripes, ks, &123u64));
+        let ks999 = KeySlots { ..ks };
+        assert_eq!(get(&raw, &stripes, ks999, &999u64), Some(7));
+    }
+
+    #[test]
+    fn readers_make_progress_alongside_writers() {
+        // A writer hammers one key's value while readers verify they only
+        // ever observe complete values (never torn halves).
+        let raw: RawTable<u64, [u64; 4], 4> = RawTable::with_capacity(4096);
+        let stripes = LockStripes::new(16);
+        let hb = RandomState::with_seed(9);
+        let ks = key_slots(&hb, &1u64, raw.mask());
+        {
+            let _g = stripes.lock_pair(ks.i1, ks.i2);
+            // SAFETY: pair lock held.
+            unsafe { raw.write_entry_racy(ks.i1, 0, ks.tag, 1u64, [0u64; 4]) };
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stop = &stop;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..20_000u64 {
+                    let _g = stripes.lock_pair(ks.i1, ks.i2);
+                    let b = raw.bucket(ks.i1);
+                    // SAFETY: pair lock held; slot 0 occupied.
+                    unsafe {
+                        htm::mem::store_bytes(
+                            b.val_ptr(0) as usize,
+                            [i; 4].as_ptr().cast(),
+                            32,
+                        );
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            for _ in 0..2 {
+                s.spawn(|| {
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        if let Some(v) = get(&raw, &stripes, ks, &1u64) {
+                            assert!(
+                                v.iter().all(|&x| x == v[0]),
+                                "torn read escaped validation: {v:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

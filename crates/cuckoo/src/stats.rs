@@ -1,0 +1,114 @@
+//! Insert slow-path statistics (for the Appendix B validation bench).
+//!
+//! Appendix B bounds the probability that a discovered cuckoo path is
+//! invalidated by concurrent writers before it executes (Eq. 1). These
+//! counters measure the real rate: path executions attempted versus paths
+//! found stale at validation time. They are bumped only on the insert
+//! *slow path* (a path search already costs hundreds of slot reads), so
+//! they do not violate principle P1 on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for cuckoo-path discovery and execution.
+#[derive(Debug, Default)]
+pub struct PathStats {
+    /// Path searches performed.
+    pub searches: AtomicU64,
+    /// Path executions attempted.
+    pub executions: AtomicU64,
+    /// Executions aborted because validation found the path stale.
+    pub stale: AtomicU64,
+    /// Inserts that escalated to the pessimistic full-table lock.
+    pub full_table_fallbacks: AtomicU64,
+}
+
+/// Snapshot of [`PathStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStatsSnapshot {
+    /// Path searches performed.
+    pub searches: u64,
+    /// Path executions attempted.
+    pub executions: u64,
+    /// Stale-path aborts.
+    pub stale: u64,
+    /// Full-table-lock escalations.
+    pub full_table_fallbacks: u64,
+}
+
+impl PathStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_search(&self) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_execution(&self, stale: bool) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        if stale {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_full_table_fallback(&self) {
+        self.full_table_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> PathStatsSnapshot {
+        PathStatsSnapshot {
+            searches: self.searches.load(Ordering::Relaxed),
+            executions: self.executions.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            full_table_fallbacks: self.full_table_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.searches.store(0, Ordering::Relaxed);
+        self.executions.store(0, Ordering::Relaxed);
+        self.stale.store(0, Ordering::Relaxed);
+        self.full_table_fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
+impl PathStatsSnapshot {
+    /// Observed path-invalidation probability (stale / executions).
+    pub fn invalidation_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.stale as f64 / self.executions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_reset() {
+        let s = PathStats::new();
+        s.record_search();
+        s.record_execution(false);
+        s.record_execution(true);
+        s.record_execution(true);
+        s.record_full_table_fallback();
+        let snap = s.snapshot();
+        assert_eq!(snap.searches, 1);
+        assert_eq!(snap.executions, 3);
+        assert_eq!(snap.stale, 2);
+        assert_eq!(snap.full_table_fallbacks, 1);
+        assert!((snap.invalidation_rate() - 2.0 / 3.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), PathStatsSnapshot::default());
+        assert_eq!(s.snapshot().invalidation_rate(), 0.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! Striped version-spinlocks (paper §4.4).
+//!
+//! The paper stores "an actual lock in the stripe in addition to the
+//! version counter (our lock uses the high-order bit of the counter)" and
+//! favors "lightweight spinlocks using compare-and-swap" because the
+//! critical sections are tiny. This module implements exactly that:
+//!
+//! - [`VersionLock`] — one `AtomicU64` word: bit 63 is the writer lock,
+//!   the low 63 bits are a seqlock version counter. Acquiring the lock
+//!   makes the version odd; releasing makes it even again, so optimistic
+//!   readers validate with two loads and zero cache-line writes (paper
+//!   §4.2: "allow reads to be performed with no cache line writes by
+//!   using optimistic locking").
+//! - [`LockStripes`] — a power-of-two array of cache-line-padded
+//!   [`VersionLock`]s. Buckets map to stripes by masking, giving the
+//!   "reasonable size lock tables, such as 1K-8K entries" the paper uses
+//!   (default 2048, `DEFAULT_STRIPES`).
+//! - Ordered two-stripe acquisition ([`LockStripes::lock_pair`]) — "locks
+//!   of the pair of buckets are ordered by the bucket id to avoid
+//!   deadlock. If two buckets share the same lock, then only one lock is
+//!   acquired".
+//! - [`LockStripes::lock_all`] — the pessimistic full-table acquisition
+//!   the paper describes as the probabilistic-livelock escape hatch
+//!   ("acquiring each of the 2048 locks in the lock-striped table").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of lock stripes the paper's implementation uses by default.
+pub const DEFAULT_STRIPES: usize = 2048;
+
+/// Bit 63 marks the stripe write-locked.
+const LOCKED: u64 = 1 << 63;
+
+/// A combined spinlock + seqlock version counter in one word.
+///
+/// Invariant: the version (low 63 bits) is odd exactly while a writer is
+/// active — either because the lock is held, or because a lock-free
+/// publication protocol (the elided-execution seqlock bumps) is mid-write.
+/// Readers treat "odd or locked" as "retry".
+#[derive(Debug)]
+pub struct VersionLock {
+    word: AtomicU64,
+}
+
+/// A validated snapshot of a stripe's version, for optimistic reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStamp(u64);
+
+impl VersionLock {
+    /// Creates an unlocked stripe with version 0.
+    pub const fn new() -> Self {
+        VersionLock {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// The raw atomic word (used by transactional execution to register
+    /// the stripe as a seqlock publication word).
+    #[inline]
+    pub fn word(&self) -> &AtomicU64 {
+        &self.word
+    }
+
+    /// Attempts to acquire the writer lock once.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        let cur = self.word.load(Ordering::Relaxed);
+        if cur & LOCKED != 0 {
+            return false;
+        }
+        // Acquiring sets the lock bit and makes the version odd in one CAS
+        // so readers see a single transition into the write window.
+        self.word
+            .compare_exchange_weak(
+                cur,
+                (cur + 1) | LOCKED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Spins (then yields) until the writer lock is acquired.
+    #[inline]
+    pub fn lock(&self) {
+        let mut spins = 0u32;
+        let mut watchdog = 0u64;
+        while !self.try_lock() {
+            watchdog += 1;
+            debug_assert!(watchdog < 500_000_000, "VersionLock::lock stuck");
+            backoff(&mut spins);
+        }
+    }
+
+    /// Releases the writer lock, bumping the version back to even.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the lock is currently held.
+    #[inline]
+    pub fn unlock(&self) {
+        let cur = self.word.load(Ordering::Relaxed);
+        debug_assert_ne!(cur & LOCKED, 0, "unlock of unheld VersionLock");
+        debug_assert_eq!((cur & !LOCKED) % 2, 1, "version must be odd while locked");
+        self.word.store((cur & !LOCKED) + 1, Ordering::Release);
+    }
+
+    /// Whether the writer lock is currently held.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) & LOCKED != 0
+    }
+
+    /// Begins an optimistic read: spins until the stripe is quiescent
+    /// (unlocked, even version) and returns the observed stamp.
+    #[inline]
+    pub fn read_begin(&self) -> ReadStamp {
+        let mut spins = 0u32;
+        let mut watchdog = 0u64;
+        loop {
+            let v = self.word.load(Ordering::Acquire);
+            if v & LOCKED == 0 && v % 2 == 0 {
+                return ReadStamp(v);
+            }
+            watchdog += 1;
+            debug_assert!(watchdog < 500_000_000, "read_begin stuck: word={v:#x}");
+            backoff(&mut spins);
+        }
+    }
+
+    /// Ends an optimistic read: `true` when no writer was active since the
+    /// matching [`VersionLock::read_begin`].
+    #[inline]
+    pub fn read_validate(&self, stamp: ReadStamp) -> bool {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.word.load(Ordering::Acquire) == stamp.0
+    }
+
+    /// Current raw version (for statistics and tests).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.word.load(Ordering::Relaxed) & !LOCKED
+    }
+}
+
+impl Default for VersionLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Spin briefly, then yield to the scheduler; with more threads than
+/// cores, pure spinning wastes whole quanta waiting for a preempted lock
+/// holder.
+#[inline]
+pub(crate) fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A [`VersionLock`] alone on its cache line, so stripe contention does
+/// not become false sharing.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct PaddedLock(VersionLock);
+
+/// The striped lock table.
+#[derive(Debug)]
+pub struct LockStripes {
+    stripes: Box<[PaddedLock]>,
+    mask: usize,
+}
+
+impl LockStripes {
+    /// Creates `count` stripes (rounded up to a power of two, minimum 1).
+    pub fn new(count: usize) -> Self {
+        let count = count.max(1).next_power_of_two();
+        let stripes = (0..count)
+            .map(|_| PaddedLock::default())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LockStripes {
+            mask: count - 1,
+            stripes,
+        }
+    }
+
+    /// Number of stripes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether there are zero stripes (never true; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Stripe index covering bucket `bucket`.
+    #[inline]
+    pub fn stripe_of(&self, bucket: usize) -> usize {
+        bucket & self.mask
+    }
+
+    /// The stripe lock covering bucket `bucket`.
+    #[inline]
+    pub fn stripe(&self, bucket: usize) -> &VersionLock {
+        &self.stripes[bucket & self.mask].0
+    }
+
+    /// Locks the stripes covering `b1` and `b2` in stripe-index order
+    /// (deadlock-free); a shared stripe is locked once.
+    #[inline]
+    pub fn lock_pair(&self, b1: usize, b2: usize) -> PairGuard<'_> {
+        let (s1, s2) = (self.stripe_of(b1), self.stripe_of(b2));
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        self.stripes[lo].0.lock();
+        if hi != lo {
+            self.stripes[hi].0.lock();
+        }
+        PairGuard {
+            stripes: self,
+            lo,
+            hi,
+        }
+    }
+
+    /// Locks every stripe in index order — the pessimistic full-table
+    /// lock. Expensive; used for resizing, whole-table iteration, and as
+    /// the livelock escape hatch.
+    pub fn lock_all(&self) -> AllGuard<'_> {
+        for s in self.stripes.iter() {
+            s.0.lock();
+        }
+        AllGuard { stripes: self }
+    }
+
+    /// Bytes of memory the stripe table occupies (for the paper's memory
+    /// accounting: "the efficiency of the basic table plus the small
+    /// additional lock-striping table").
+    pub fn memory_bytes(&self) -> usize {
+        self.stripes.len() * std::mem::size_of::<PaddedLock>()
+    }
+}
+
+/// Guard holding one or two stripe locks; releases in reverse order.
+#[derive(Debug)]
+pub struct PairGuard<'a> {
+    stripes: &'a LockStripes,
+    lo: usize,
+    hi: usize,
+}
+
+impl PairGuard<'_> {
+    /// Whether this guard covers the stripe of `bucket`.
+    #[inline]
+    pub fn covers(&self, bucket: usize) -> bool {
+        let s = self.stripes.stripe_of(bucket);
+        s == self.lo || s == self.hi
+    }
+}
+
+impl Drop for PairGuard<'_> {
+    fn drop(&mut self) {
+        if self.hi != self.lo {
+            self.stripes.stripes[self.hi].0.unlock();
+        }
+        self.stripes.stripes[self.lo].0.unlock();
+    }
+}
+
+/// Guard holding every stripe.
+#[derive(Debug)]
+pub struct AllGuard<'a> {
+    stripes: &'a LockStripes,
+}
+
+impl Drop for AllGuard<'_> {
+    fn drop(&mut self) {
+        for s in self.stripes.stripes.iter().rev() {
+            s.0.unlock();
+        }
+    }
+}
+
+/// A plain global spinlock (for the single-writer baseline's whole-table
+/// write lock).
+#[derive(Debug, Default)]
+pub struct SpinLock {
+    lock: VersionLock,
+}
+
+impl SpinLock {
+    /// Creates an unlocked spinlock.
+    pub const fn new() -> Self {
+        SpinLock {
+            lock: VersionLock::new(),
+        }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> SpinGuard<'_> {
+        self.lock.lock();
+        SpinGuard { lock: &self.lock }
+    }
+
+    /// Whether the lock is held.
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_locked()
+    }
+}
+
+/// Guard for [`SpinLock`].
+#[derive(Debug)]
+pub struct SpinGuard<'a> {
+    lock: &'a VersionLock,
+}
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lock_sets_odd_version_unlock_restores_even() {
+        let l = VersionLock::new();
+        assert_eq!(l.version(), 0);
+        assert!(l.try_lock());
+        assert!(l.is_locked());
+        assert_eq!(l.version() % 2, 1);
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+        assert_eq!(l.version(), 2);
+    }
+
+    #[test]
+    fn optimistic_read_detects_writer() {
+        let l = VersionLock::new();
+        let stamp = l.read_begin();
+        assert!(l.read_validate(stamp));
+        l.lock();
+        l.unlock();
+        assert!(!l.read_validate(stamp), "version moved; reader must retry");
+    }
+
+    #[test]
+    fn read_begin_waits_for_even_version() {
+        // An odd version (seqlock mid-write) must not produce a stamp.
+        let l = VersionLock::new();
+        l.word().fetch_add(1, Ordering::AcqRel); // simulate publication start
+        let word = l.word();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| l.read_begin());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            word.fetch_add(1, Ordering::AcqRel); // publication ends
+            let stamp = t.join().unwrap();
+            assert!(l.read_validate(stamp));
+        });
+    }
+
+    #[test]
+    fn stripes_map_and_pair_lock() {
+        let s = LockStripes::new(8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.stripe_of(3), s.stripe_of(11), "wraps by mask");
+        {
+            let g = s.lock_pair(1, 9); // same stripe
+            assert!(g.covers(1));
+            assert!(g.covers(9));
+            assert!(s.stripe(1).is_locked());
+        }
+        assert!(!s.stripe(1).is_locked());
+        {
+            let _g = s.lock_pair(2, 5);
+            assert!(s.stripe(2).is_locked());
+            assert!(s.stripe(5).is_locked());
+            assert!(!s.stripe(3).is_locked());
+        }
+        assert!(!s.stripe(2).is_locked());
+        assert!(!s.stripe(5).is_locked());
+    }
+
+    #[test]
+    fn rounds_stripe_count_to_power_of_two() {
+        assert_eq!(LockStripes::new(5).len(), 8);
+        assert_eq!(LockStripes::new(2048).len(), 2048);
+        assert_eq!(LockStripes::new(0).len(), 1);
+    }
+
+    #[test]
+    fn lock_all_excludes_pair_lockers() {
+        let s = LockStripes::new(4);
+        let g = s.lock_all();
+        for i in 0..4 {
+            assert!(s.stripe(i).is_locked());
+        }
+        drop(g);
+        for i in 0..4 {
+            assert!(!s.stripe(i).is_locked());
+        }
+    }
+
+    #[test]
+    fn pair_lock_mutual_exclusion_under_contention() {
+        // Classic increment test: two buckets on two stripes, many
+        // threads, counter protected by the pair lock.
+        let s = LockStripes::new(16);
+        let counter = AtomicUsize::new(0);
+        let mut shadow = 0usize;
+        let shadow_ptr = SendPtr(&mut shadow as *mut usize);
+        const THREADS: usize = 4;
+        const PER: usize = 2000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                let counter = &counter;
+                scope.spawn(move || {
+                    let shadow_ptr = shadow_ptr;
+                    for i in 0..PER {
+                        let b1 = (t + i) % 16;
+                        let b2 = (t * 7 + i) % 16;
+                        let _g = s.lock_pair(b1, b2);
+                        // Only safe because every thread locks *some*
+                        // stripe pair... which does NOT serialize them.
+                        // Use bucket 3 & 5 always for the shared counter:
+                        drop(_g);
+                        let _g = s.lock_pair(3, 5);
+                        // SAFETY: all mutation happens under the (3,5)
+                        // pair lock, serializing access.
+                        unsafe { *shadow_ptr.0 += 1 };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(shadow, THREADS * PER);
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS * PER);
+    }
+
+    #[test]
+    fn spinlock_guards() {
+        let l = SpinLock::new();
+        {
+            let _g = l.lock();
+            assert!(l.is_locked());
+        }
+        assert!(!l.is_locked());
+    }
+
+    #[derive(Clone, Copy)]
+    struct SendPtr(*mut usize);
+    // SAFETY: test-only; the pointee outlives the scope and access is
+    // serialized by the lock under test.
+    unsafe impl Send for SendPtr {}
+}

@@ -1,0 +1,135 @@
+//! Transaction abort codes, mirroring Intel RTM's `EAX` abort status.
+//!
+//! Intel TSX reports *why* a transaction aborted through the `EAX` register
+//! (paper §5 and Appendix A): a conflict on a transactionally accessed
+//! cache line, exhaustion of the hardware's read/write-set tracking
+//! capacity, or an explicit `XABORT`. The `_XABORT_RETRY` flag hints
+//! whether an immediate retry may succeed. The software simulator reports
+//! the same taxonomy.
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// Another thread wrote (or locked for writing) a cache line in this
+    /// transaction's read set, or raced this transaction's commit.
+    ///
+    /// Corresponds to a data-conflict abort; RTM would normally set
+    /// `_XABORT_RETRY` for these.
+    Conflict,
+    /// The transaction's read or write footprint exceeded the simulated
+    /// hardware tracking capacity (paper §5: "current implementations can
+    /// track only 16KB of data"). RTM leaves `_XABORT_RETRY` clear: a
+    /// retry of the same transaction will abort again.
+    Capacity,
+    /// The transaction aborted itself via the analogue of `XABORT imm8`.
+    /// The paper's elision wrapper (Figure 11) uses
+    /// `_xabort(_ABORT_LOCK_BUSY)` when the fallback lock is held.
+    Explicit(u8),
+}
+
+/// The `imm8` code used by lock elision when the fallback lock is busy,
+/// matching `_ABORT_LOCK_BUSY` in the paper's Figure 11.
+pub const ABORT_LOCK_BUSY: u8 = 0xff;
+
+impl AbortCode {
+    /// Whether RTM would set the `_XABORT_RETRY` status flag.
+    ///
+    /// Conflicts are transient, so hardware suggests retrying; capacity
+    /// overflows are deterministic, so it does not. Explicit aborts carry
+    /// no retry hint (glibc's elision treats them as non-retryable, which
+    /// the paper identifies as one of its weaknesses).
+    #[inline]
+    pub fn may_retry(self) -> bool {
+        matches!(self, AbortCode::Conflict)
+    }
+
+    /// Whether this is the lock-busy explicit abort from the elision
+    /// wrapper.
+    #[inline]
+    pub fn is_lock_busy(self) -> bool {
+        self == AbortCode::Explicit(ABORT_LOCK_BUSY)
+    }
+}
+
+/// An in-flight abort, propagated out of the transaction closure with `?`.
+///
+/// Constructing an `Abort` does not by itself unwind anything: the
+/// transaction closure returns `Err(Abort)` and the executor discards the
+/// transaction's buffered writes, exactly as hardware discards the
+/// speculative state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// The reported abort cause.
+    pub code: AbortCode,
+}
+
+impl Abort {
+    /// An abort caused by a data conflict.
+    #[inline]
+    pub fn conflict() -> Self {
+        Abort {
+            code: AbortCode::Conflict,
+        }
+    }
+
+    /// An abort caused by footprint-capacity overflow.
+    #[inline]
+    pub fn capacity() -> Self {
+        Abort {
+            code: AbortCode::Capacity,
+        }
+    }
+
+    /// An explicit (`XABORT`-style) abort with the given 8-bit code.
+    #[inline]
+    pub fn explicit(code: u8) -> Self {
+        Abort {
+            code: AbortCode::Explicit(code),
+        }
+    }
+
+    /// The explicit lock-busy abort used by [`crate::ElidedLock`].
+    #[inline]
+    pub fn lock_busy() -> Self {
+        Abort::explicit(ABORT_LOCK_BUSY)
+    }
+}
+
+impl core::fmt::Display for Abort {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.code {
+            AbortCode::Conflict => write!(f, "transaction aborted: data conflict"),
+            AbortCode::Capacity => write!(f, "transaction aborted: capacity overflow"),
+            AbortCode::Explicit(c) => write!(f, "transaction aborted: explicit (code {c:#x})"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hints_match_rtm_semantics() {
+        assert!(AbortCode::Conflict.may_retry());
+        assert!(!AbortCode::Capacity.may_retry());
+        assert!(!AbortCode::Explicit(0).may_retry());
+        assert!(!AbortCode::Explicit(ABORT_LOCK_BUSY).may_retry());
+    }
+
+    #[test]
+    fn lock_busy_detection() {
+        assert!(Abort::lock_busy().code.is_lock_busy());
+        assert!(!Abort::conflict().code.is_lock_busy());
+        assert!(!Abort::explicit(0x7f).code.is_lock_busy());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Abort::conflict().to_string().contains("conflict"));
+        assert!(Abort::capacity().to_string().contains("capacity"));
+        assert!(Abort::explicit(3).to_string().contains("0x3"));
+    }
+}

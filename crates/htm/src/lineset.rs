@@ -1,0 +1,165 @@
+//! A small open-addressed set of cache-line numbers.
+//!
+//! Transactions track which distinct 64-byte lines their read and write
+//! sets touch so the simulator can model hardware capacity limits. The set
+//! is rebuilt for every transaction, so it favors cheap insertion and cheap
+//! clearing over generality.
+
+/// An open-addressed hash set of non-zero `u64` line numbers.
+///
+/// Line number 0 is reserved as the empty-slot marker; callers pass raw
+/// cache-line indices, which the set offsets by one internally so index 0
+/// remains representable.
+pub struct LineSet {
+    slots: Box<[u64]>,
+    mask: usize,
+    len: usize,
+}
+
+impl LineSet {
+    /// Creates a set able to hold at least `capacity` distinct lines before
+    /// growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = (capacity.max(8) * 2).next_power_of_two();
+        LineSet {
+            slots: vec![0u64; cap].into_boxed_slice(),
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of distinct lines inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all lines but keeps the allocation.
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+        self.len = 0;
+    }
+
+    /// Inserts `line`, returning `true` if it was not already present.
+    pub fn insert(&mut self, line: u64) -> bool {
+        // Reserve 0 as the empty marker by storing line+1.
+        let key = line.wrapping_add(1);
+        debug_assert_ne!(key, 0, "line u64::MAX unsupported");
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mut idx = Self::hash(key) as usize & self.mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot == key {
+                return false;
+            }
+            if slot == 0 {
+                self.slots[idx] = key;
+                self.len += 1;
+                return true;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Whether `line` has been inserted.
+    pub fn contains(&self, line: u64) -> bool {
+        let key = line.wrapping_add(1);
+        let mut idx = Self::hash(key) as usize & self.mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot == key {
+                return true;
+            }
+            if slot == 0 {
+                return false;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![0u64; new_cap].into_boxed_slice());
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for key in old.iter().copied().filter(|&k| k != 0) {
+            // Re-insert without the growth check (new table is big enough).
+            let mut idx = Self::hash(key) as usize & self.mask;
+            while self.slots[idx] != 0 {
+                idx = (idx + 1) & self.mask;
+            }
+            self.slots[idx] = key;
+            self.len += 1;
+        }
+    }
+
+    /// Fibonacci-style multiplicative hash; line numbers are sequential, so
+    /// mixing matters more than speed here.
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(23)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LineSet;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = LineSet::with_capacity(4);
+        assert!(s.insert(0));
+        assert!(s.insert(1));
+        assert!(s.insert(u64::MAX - 1));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn growth_preserves_members() {
+        let mut s = LineSet::with_capacity(4);
+        for i in 0..1000u64 {
+            assert!(s.insert(i * 7));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u64 {
+            assert!(s.contains(i * 7));
+            assert!(!s.insert(i * 7));
+        }
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut s = LineSet::with_capacity(8);
+        for i in 0..100 {
+            s.insert(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+        assert!(s.insert(5));
+    }
+
+    #[test]
+    fn sequential_lines_do_not_degenerate() {
+        // Cache lines from a bucket array are sequential; make sure probe
+        // chains stay short enough that inserts terminate quickly.
+        let mut s = LineSet::with_capacity(16);
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 10_000);
+    }
+}

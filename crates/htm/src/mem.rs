@@ -1,0 +1,108 @@
+//! Race-free raw byte copies for optimistic concurrency.
+//!
+//! Seqlock-style readers copy memory that a (version-publishing) writer
+//! may be mutating concurrently; doing that with plain loads would be a
+//! data race. These helpers copy through per-chunk relaxed atomics
+//! (64-bit chunks when alignment allows, bytes otherwise): the values may
+//! be *torn*, but observing them is defined behavior, and callers discard
+//! torn results via version validation (plus [`crate::Plain`] bounds when
+//! materializing typed values).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Copies `len` bytes from `addr` into `dst` using relaxed atomic loads.
+///
+/// # Safety
+///
+/// `addr..addr + len` must be readable memory for the duration of the
+/// call; `dst` must be valid for `len` writes and not overlap the source.
+/// Concurrent writers to the source are permitted.
+pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
+    if addr % 8 == 0 && len % 8 == 0 && (dst as usize) % 8 == 0 {
+        for i in 0..len / 8 {
+            // SAFETY: in-bounds by the loop range; 8-aligned by the check.
+            let v = unsafe { &*((addr + i * 8) as *const AtomicU64) }.load(Ordering::Relaxed);
+            // SAFETY: `dst` is valid for `len` bytes and 8-aligned.
+            unsafe { (dst as *mut u64).add(i).write(v) };
+        }
+    } else {
+        for i in 0..len {
+            // SAFETY: in-bounds by the loop range; u8 has no alignment.
+            let v = unsafe { &*((addr + i) as *const AtomicU8) }.load(Ordering::Relaxed);
+            // SAFETY: `dst` is valid for `len` bytes.
+            unsafe { dst.add(i).write(v) };
+        }
+    }
+}
+
+/// Copies `len` bytes from `src` to `addr` using relaxed atomic stores.
+///
+/// # Safety
+///
+/// `addr..addr + len` must be writable memory for the duration of the
+/// call; `src` must be valid for `len` reads and not overlap the
+/// destination. Concurrent (validating) readers of the destination are
+/// permitted; concurrent writers are not.
+pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
+    if addr % 8 == 0 && len % 8 == 0 && (src as usize) % 8 == 0 {
+        for i in 0..len / 8 {
+            // SAFETY: in-bounds by the loop range; 8-aligned by the check.
+            let v = unsafe { (src as *const u64).add(i).read() };
+            // SAFETY: `addr` is valid for `len` bytes and 8-aligned.
+            unsafe { &*((addr + i * 8) as *const AtomicU64) }.store(v, Ordering::Relaxed);
+        }
+    } else {
+        for i in 0..len {
+            // SAFETY: in-bounds by the loop range.
+            let v = unsafe { src.add(i).read() };
+            // SAFETY: `addr` is valid for `len` bytes; u8 has no alignment.
+            unsafe { &*((addr + i) as *const AtomicU8) }.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_roundtrip() {
+        let src = [0x1122_3344_5566_7788u64, 0xaabb_ccdd_eeff_0011];
+        let mut dst = [0u64; 2];
+        // SAFETY: both buffers are 16 valid, 8-aligned bytes.
+        unsafe {
+            store_bytes(
+                dst.as_mut_ptr() as usize,
+                src.as_ptr().cast::<u8>(),
+                16,
+            );
+        }
+        assert_eq!(dst, src);
+        let mut back = [0u64; 2];
+        // SAFETY: as above.
+        unsafe { load_bytes(dst.as_ptr() as usize, back.as_mut_ptr().cast::<u8>(), 16) };
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn unaligned_roundtrip() {
+        let mut buf = [0u8; 32];
+        let src: [u8; 13] = *b"hello, world!";
+        // SAFETY: offset 3 keeps the 13 bytes inside `buf`.
+        unsafe { store_bytes(buf.as_mut_ptr() as usize + 3, src.as_ptr(), 13) };
+        assert_eq!(&buf[3..16], b"hello, world!");
+        let mut out = [0u8; 13];
+        // SAFETY: as above.
+        unsafe { load_bytes(buf.as_ptr() as usize + 3, out.as_mut_ptr(), 13) };
+        assert_eq!(&out, b"hello, world!");
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[16], 0);
+    }
+
+    #[test]
+    fn zero_length_is_noop() {
+        let buf = [7u8; 4];
+        // SAFETY: zero bytes touched.
+        unsafe { load_bytes(buf.as_ptr() as usize, core::ptr::null_mut(), 0) };
+    }
+}

@@ -1,0 +1,330 @@
+//! The transactional memory domain: ownership records and a global clock.
+//!
+//! This is the TL2 half of the simulator. Every 64-byte cache line of the
+//! address space maps (by hashing its line number) to one *ownership
+//! record* — an `AtomicU64` whose bit 63 is a write lock and whose low 63
+//! bits hold the version (a timestamp drawn from the global clock) of the
+//! last committed write to any line mapping there. Hardware tracks
+//! read/write sets with cache tags at exactly this granularity (paper §5),
+//! which is also why *false sharing* causes transactional conflicts: two
+//! unrelated variables on one line share an orec here just as they share a
+//! cache tag on Haswell.
+
+use crate::abort::Abort;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit 63 of an orec marks it write-locked by a committing transaction.
+pub(crate) const OREC_LOCKED: u64 = 1 << 63;
+
+/// Bytes per tracked cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// Tuning knobs for a transactional domain.
+#[derive(Debug, Clone)]
+pub struct HtmConfig {
+    /// Number of ownership records; must be a power of two. More records
+    /// mean fewer hash collisions between unrelated lines (less false
+    /// conflict aliasing).
+    pub orec_count: usize,
+    /// Maximum distinct cache lines a transaction may read before aborting
+    /// with [`crate::AbortCode::Capacity`]. Haswell tracks the read set
+    /// with L1 cache tags (32 KB = 512 lines); larger read sets abort.
+    pub read_capacity_lines: usize,
+    /// Maximum distinct cache lines a transaction may write before
+    /// aborting with [`crate::AbortCode::Capacity`]. The paper (§5) cites a
+    /// 16 KB buffering limit: 256 lines.
+    pub write_capacity_lines: usize,
+    /// How many times to re-poll a locked orec before declaring a conflict
+    /// while acquiring the write set at commit.
+    pub acquire_spin: usize,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            orec_count: 1 << 16,
+            read_capacity_lines: 512,
+            write_capacity_lines: 256,
+            acquire_spin: 64,
+        }
+    }
+}
+
+/// A transactional memory domain: the shared state transactions of one
+/// data structure (or several) synchronize through.
+///
+/// Hardware HTM has exactly one implicit global domain (the coherence
+/// fabric); making it an explicit value keeps tests isolated and lets
+/// benchmarks construct independent tables that do not alias each other's
+/// orecs.
+pub struct HtmDomain {
+    orecs: Box<[AtomicU64]>,
+    clock: AtomicU64,
+    mask: u64,
+    config: HtmConfig,
+}
+
+impl HtmDomain {
+    /// Creates a domain with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(HtmConfig::default())
+    }
+
+    /// Creates a domain with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orec_count` is not a power of two.
+    pub fn with_config(config: HtmConfig) -> Self {
+        assert!(
+            config.orec_count.is_power_of_two(),
+            "orec_count must be a power of two"
+        );
+        let orecs = (0..config.orec_count)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        HtmDomain {
+            mask: (config.orec_count - 1) as u64,
+            orecs,
+            clock: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The domain's configuration.
+    #[inline]
+    pub fn config(&self) -> &HtmConfig {
+        &self.config
+    }
+
+    /// The cache line number an address belongs to.
+    #[inline]
+    pub(crate) fn line_of(addr: usize) -> u64 {
+        (addr / CACHE_LINE) as u64
+    }
+
+    /// Index of the ownership record covering `addr`'s cache line.
+    #[inline]
+    pub(crate) fn orec_index(&self, addr: usize) -> u32 {
+        let line = Self::line_of(addr);
+        // Multiplicative mixing: sequential lines (arrays) should spread
+        // across the orec table rather than march through it in lockstep
+        // with another array at a different base address.
+        (line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16 & self.mask) as u32
+    }
+
+    #[inline]
+    pub(crate) fn orec(&self, idx: u32) -> &AtomicU64 {
+        &self.orecs[idx as usize]
+    }
+
+    /// Current value of the global version clock.
+    #[inline]
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Advances the global clock, returning the new timestamp.
+    #[inline]
+    pub(crate) fn clock_advance(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Invalidate the cache line containing `addr` for all in-flight
+    /// transactions that have read it.
+    ///
+    /// Non-transactional code that is about to write memory which
+    /// concurrent transactions may have in their read sets must call this
+    /// *before* writing. The canonical user is [`crate::ElidedLock`]'s
+    /// fallback path: acquiring the fallback lock bumps the lock word's
+    /// orec, which (because every elided transaction reads the lock word
+    /// first) aborts every in-flight transaction — exactly the behavior of
+    /// a real elided lock, where the fallback acquisition writes a line in
+    /// every transaction's read set.
+    pub fn invalidate_line(&self, addr: usize) {
+        let orec = self.orec(self.orec_index(addr));
+        // Acquire the orec lock bit so we do not race a committing writer.
+        loop {
+            let cur = orec.load(Ordering::Acquire);
+            if cur & OREC_LOCKED != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            if orec
+                .compare_exchange_weak(cur, cur | OREC_LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        let wv = self.clock_advance();
+        debug_assert_eq!(wv & OREC_LOCKED, 0, "version clock overflowed into lock bit");
+        orec.store(wv, Ordering::Release);
+    }
+
+    /// Runs `f` with the ownership record covering `addr` held, bumping
+    /// its version afterwards if `f` returns `true`.
+    ///
+    /// This is the bridge non-transactional code uses to make a plain
+    /// atomic update *visible to the conflict detector*: while the record
+    /// is held, transactional reads of the line abort, and once the
+    /// version is bumped, transactions that read the line earlier fail
+    /// commit-time validation. [`crate::ElidedLock`] acquires its fallback
+    /// lock this way.
+    ///
+    /// `f` must be short and must not start transactions in this domain.
+    pub fn locked_line_update(&self, addr: usize, f: impl FnOnce() -> bool) -> bool {
+        let orec = self.orec(self.orec_index(addr));
+        let mut spins = 0u32;
+        loop {
+            let cur = orec.load(Ordering::Acquire);
+            if cur & OREC_LOCKED != 0 {
+                crate::elision::backoff(&mut spins);
+                continue;
+            }
+            if orec
+                .compare_exchange_weak(cur, cur | OREC_LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let changed = f();
+                if changed {
+                    let wv = self.clock_advance();
+                    debug_assert_eq!(wv & OREC_LOCKED, 0);
+                    orec.store(wv, Ordering::Release);
+                } else {
+                    orec.store(cur, Ordering::Release);
+                }
+                return changed;
+            }
+        }
+    }
+
+    /// Runs `f` as a transaction using caller-provided scratch buffers,
+    /// committing on `Ok` and discarding all buffered writes on `Err`.
+    ///
+    /// Returns the closure's value on commit, or the abort that ended the
+    /// attempt (from the closure or from commit-time validation). This is a
+    /// single attempt — retry policy belongs to the caller (see
+    /// [`crate::ElidedLock`] for the paper's policies).
+    pub fn attempt<R>(
+        &self,
+        scratch: &mut crate::txn::TxScratch,
+        f: impl FnOnce(&mut crate::txn::Transaction<'_>) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        let mut tx = crate::txn::Transaction::begin(self, scratch);
+        match f(&mut tx) {
+            Ok(value) => {
+                tx.commit()?;
+                Ok(value)
+            }
+            Err(abort) => Err(abort),
+        }
+    }
+
+    /// Convenience wrapper around [`HtmDomain::attempt`] that allocates
+    /// fresh scratch buffers. Prefer `attempt` in hot paths.
+    pub fn execute<R>(
+        &self,
+        f: impl FnOnce(&mut crate::txn::Transaction<'_>) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        let mut scratch = crate::txn::TxScratch::new();
+        self.attempt(&mut scratch, f)
+    }
+}
+
+impl Default for HtmDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_is_line_granular() {
+        let d = HtmDomain::new();
+        // Two addresses within one line share an orec.
+        assert_eq!(d.orec_index(0x1000), d.orec_index(0x1000 + 63));
+        // Neighboring lines (usually) do not; with 2^16 orecs and
+        // multiplicative hashing collisions on adjacent lines are absent.
+        assert_ne!(d.orec_index(0x1000), d.orec_index(0x1000 + 64));
+    }
+
+    #[test]
+    fn invalidate_line_advances_version() {
+        let d = HtmDomain::new();
+        let addr = 0xdead_b000usize;
+        let idx = d.orec_index(addr);
+        let before = d.orec(idx).load(Ordering::Relaxed);
+        d.invalidate_line(addr);
+        let after = d.orec(idx).load(Ordering::Relaxed);
+        assert!(after > before);
+        assert_eq!(after & OREC_LOCKED, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_orec_count() {
+        let _ = HtmDomain::with_config(HtmConfig {
+            orec_count: 1000,
+            ..HtmConfig::default()
+        });
+    }
+
+    #[test]
+    fn false_sharing_conflicts_like_hardware() {
+        // Two unrelated variables on one cache line share an ownership
+        // record — writing one invalidates transactional readers of the
+        // other, exactly like Haswell's line-granularity tracking (§5).
+        #[repr(C, align(64))]
+        struct Line {
+            a: u64,
+            b: u64,
+        }
+        let d = HtmDomain::new();
+        let line = Line { a: 1, b: 2 };
+        let pa = &line.a as *const u64 as usize;
+        let pb = &line.b as *const u64 as usize;
+        assert_eq!(d.orec_index(pa), d.orec_index(pb), "same line, same orec");
+        let r: Result<u64, Abort> = d.execute(|tx| {
+            // SAFETY: `line` outlives the transaction.
+            let a = unsafe { tx.read(&line.a as *const u64)? };
+            // A non-transactional writer touches the *other* field's
+            // line...
+            d.invalidate_line(pb);
+            // SAFETY: as above.
+            let b = unsafe { tx.read(&line.b as *const u64)? };
+            Ok(a + b)
+        });
+        // ...which must abort us even though `a` itself never changed.
+        assert!(r.is_err(), "false sharing must conflict");
+    }
+
+    #[test]
+    fn distant_lines_do_not_conflict() {
+        let d = HtmDomain::new();
+        let a = vec![1u64; 16]; // its own lines
+        let b = vec![2u64; 16];
+        let r: Result<u64, Abort> = d.execute(|tx| {
+            // SAFETY: vectors outlive the transaction.
+            let x = unsafe { tx.read(a.as_ptr())? };
+            d.invalidate_line(b.as_ptr() as usize);
+            // SAFETY: as above.
+            let y = unsafe { tx.read(a.as_ptr().add(8))? };
+            Ok(x + y)
+        });
+        assert_eq!(r.unwrap(), 2, "unrelated line writes must not abort us");
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let d = HtmDomain::new();
+        let a = d.clock_advance();
+        let b = d.clock_advance();
+        assert!(b > a);
+        assert!(d.clock_now() >= b);
+    }
+}

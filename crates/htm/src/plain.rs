@@ -1,0 +1,73 @@
+//! The [`Plain`] marker trait for types valid under torn reads.
+//!
+//! Optimistic concurrency (seqlock-validated reads, speculative
+//! transactional reads) materializes a value from memory *before* knowing
+//! whether the read raced a concurrent writer. The bytes observed may be an
+//! arbitrary mix of old and new data. That is only sound for types where
+//! **every bit pattern is a valid value** — otherwise merely constructing
+//! the value is undefined behavior, even if it is discarded after
+//! validation fails.
+
+/// Marker for types where any bit pattern is a valid value.
+///
+/// # Safety
+///
+/// Implementors must guarantee that every possible bit pattern of
+/// `size_of::<Self>()` bytes is a valid instance of `Self`, and that the
+/// type contains no padding whose contents could be observed (padding is
+/// tolerated for reads we immediately validate, but implementors should
+/// prefer padding-free layouts). `bool`, enums with niches, references,
+/// and `NonZero*` types must **not** implement this trait.
+pub unsafe trait Plain: Copy {}
+
+macro_rules! impl_plain {
+    ($($t:ty),* $(,)?) => {
+        $(
+            // SAFETY: all bit patterns of these primitive integer and float
+            // types are valid values.
+            unsafe impl Plain for $t {}
+        )*
+    };
+}
+
+impl_plain!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+// SAFETY: the unit type has size zero; there are no bits to be invalid.
+unsafe impl Plain for () {}
+
+// SAFETY: an array of `Plain` values is valid for any bit pattern because
+// each element is.
+unsafe impl<T: Plain, const N: usize> Plain for [T; N] {}
+
+// SAFETY: a tuple of `Plain` values contains only `Plain` fields; any bit
+// pattern of the fields themselves is valid. (Inter-field padding bytes are
+// never interpreted.)
+unsafe impl<A: Plain, B: Plain> Plain for (A, B) {}
+
+// SAFETY: as for pairs.
+unsafe impl<A: Plain, B: Plain, C: Plain> Plain for (A, B, C) {}
+
+#[cfg(test)]
+mod tests {
+    use super::Plain;
+
+    fn assert_plain<T: Plain>() {}
+
+    #[test]
+    fn primitives_are_plain() {
+        assert_plain::<u8>();
+        assert_plain::<u64>();
+        assert_plain::<i128>();
+        assert_plain::<f64>();
+        assert_plain::<usize>();
+    }
+
+    #[test]
+    fn composites_are_plain() {
+        assert_plain::<[u8; 64]>();
+        assert_plain::<[u64; 4]>();
+        assert_plain::<(u64, u64)>();
+        assert_plain::<(u32, [u8; 12], u64)>();
+        assert_plain::<[[u64; 2]; 8]>();
+    }
+}

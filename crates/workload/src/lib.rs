@@ -1,0 +1,30 @@
+//! Workload generation and measurement for the paper's evaluation (§6).
+//!
+//! "Each experiment first creates an empty cuckoo hash table and then
+//! fills it to 95% capacity, with random mixed concurrent reads and
+//! writes as per the specified insert/lookup ratio. Because Cuckoo
+//! hashing slows down as the table fills, we measure both overall
+//! throughput and throughput for certain load factor intervals."
+//!
+//! - [`adapter::ConcurrentMap`] — the uniform table interface every
+//!   implementation under test (cuckoo+, MemC3, elided, baselines) plugs
+//!   into.
+//! - [`driver`] — the multi-threaded fill/mixed-ratio driver with
+//!   load-factor-window timing (per-thread key streams, lazily aggregated
+//!   progress counters — principle P1).
+//! - [`keygen`] — deterministic per-thread SplitMix64 key streams.
+//! - [`report`] — plain-text table and CSV rendering for the figure
+//!   benches.
+
+pub mod adapter;
+pub mod driver;
+pub mod keygen;
+pub mod latency;
+pub mod report;
+pub mod zipf;
+
+pub use adapter::{BenchValue, ConcurrentMap, PutResult};
+pub use driver::{FillReport, FillSpec, LookupSpec};
+pub use latency::LatencyHistogram;
+pub use report::Table;
+pub use zipf::Zipf;

@@ -1,0 +1,145 @@
+//! Plain-text table and CSV rendering for the figure benches.
+//!
+//! Every figure bench prints the same rows/series the paper reports, as
+//! an aligned text table (human-readable in the bench log) and optionally
+//! as CSV under `target/bench-results/` for plotting.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV to `target/bench-results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/bench-results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a throughput value (Mops) with sensible precision.
+pub fn mops(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".into()
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a byte count in MiB.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "mops"]);
+        t.row(vec!["short".into(), "1.23".into()]);
+        t.row(vec!["a much longer name".into(), "45.6".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a much longer name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows must align the second column.
+        let header = lines.iter().position(|l| l.contains("mops")).unwrap();
+        let col = lines[header].find("mops").unwrap();
+        assert_eq!(lines[header + 2].find("1.23"), Some(col));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mops(12.34), "12.3");
+        assert_eq!(mops(1.234), "1.23");
+        assert_eq!(mops(f64::NAN), "n/a");
+        assert_eq!(pct(0.803), "80.3%");
+        assert_eq!(mib(2 * 1024 * 1024), "2.0 MiB");
+    }
+
+    #[test]
+    fn csv_writes_and_parses_back() {
+        let mut t = Table::new("csv", &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        let path = t.write_csv("unit_test_csv").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "k,v\na,1\n");
+    }
+}

@@ -1,0 +1,144 @@
+//! Zipf-distributed key sampling for skewed workloads.
+//!
+//! Key-value caches see heavily skewed key popularity; the classic model
+//! is the Zipf distribution (`P(k) ∝ 1 / k^s`). This implements the
+//! standard rejection-inversion sampler (Gray et al., "Quickly generating
+//! billion-record synthetic databases"): O(1) per sample, no per-element
+//! tables, any `n` and any exponent `s > 0, s ≠ 1` (the harmonic case is
+//! handled by a nearby exponent).
+
+use crate::keygen::SplitMix64;
+
+/// A Zipf(n, s) sampler over ranks `0..n` (rank 0 is the hottest key).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// Precomputed integral terms.
+    h_x1: f64,
+    h_n: f64,
+    inv_s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "empty universe");
+        assert!(s > 0.0, "exponent must be positive");
+        // Nudge the harmonic singularity.
+        let s = if (s - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { s };
+        let n = n as f64;
+        let h = |x: f64| (x.powf(1.0 - s) - 1.0) / (1.0 - s);
+        Zipf {
+            n,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n + 0.5),
+            inv_s: 1.0 / s,
+        }
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+    }
+
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_x1 + (rng.next_u64() as f64 / u64::MAX as f64) * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return (k as u64) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, s: f64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, s);
+        let mut rng = SplitMix64::new(99);
+        let mut hist = vec![0u64; n as usize];
+        for _ in 0..samples {
+            hist[z.sample(&mut rng) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest_and_frequencies_decay() {
+        let hist = histogram(50, 1.0, 200_000);
+        assert!(hist[0] > hist[1]);
+        assert!(hist[1] > hist[5]);
+        assert!(hist[5] > hist[20]);
+        // Head heaviness: rank 0 of Zipf(50, ~1) carries ~22% of mass.
+        let total: u64 = hist.iter().sum();
+        let head = hist[0] as f64 / total as f64;
+        assert!((0.15..0.30).contains(&head), "head mass {head}");
+    }
+
+    #[test]
+    fn frequency_ratios_follow_power_law() {
+        // P(1)/P(2) should be ≈ 2^s.
+        for s in [0.8f64, 1.0, 1.3] {
+            let hist = histogram(1000, s, 400_000);
+            let ratio = hist[0] as f64 / hist[1] as f64;
+            let expect = 2f64.powf(s);
+            assert!(
+                (ratio / expect - 1.0).abs() < 0.15,
+                "s={s}: ratio {ratio} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_exponent_approaches_uniform() {
+        let hist = histogram(20, 0.05, 200_000);
+        let max = *hist.iter().max().unwrap() as f64;
+        let min = *hist.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "max {max} min {min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn rejects_empty_universe() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(1000, 1.1);
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(5);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(5);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! A memcached-style concurrent key-value cache — the workload that
+//! motivated MemC3 and this paper's table.
+//!
+//! Several client threads issue a skewed (approximately Zipfian) mix of
+//! GETs and SETs against a fixed-size cache built on
+//! [`OptimisticCuckooMap`]. SETs upsert; when the table reports it is too
+//! full, the cache evicts a batch of random victims (a common
+//! cache-eviction stand-in) and retries. The run prints hit rates and
+//! aggregate throughput per thread count.
+//!
+//! Run with `cargo run --release --example kv_cache`.
+
+use cuckoo_repro::cuckoo::{InsertError, OptimisticCuckooMap};
+use cuckoo_repro::workload::keygen::SplitMix64;
+use cuckoo_repro::workload::Zipf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// 32-byte values, as in a small-object cache.
+type Value = [u8; 32];
+
+struct Cache {
+    map: OptimisticCuckooMap<u64, Value, 8>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Cache {
+    fn new(capacity: usize) -> Self {
+        Cache {
+            map: OptimisticCuckooMap::with_capacity(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Value> {
+        let v = self.map.get(&key);
+        match v {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        v
+    }
+
+    fn set(&self, key: u64, val: Value, zipf: &Zipf, rng: &mut SplitMix64) {
+        loop {
+            match self.map.upsert(key, val) {
+                Ok(_) => return,
+                Err(InsertError::TableFull) => self.evict_some(zipf, rng),
+                Err(InsertError::KeyExists) => unreachable!("upsert cannot report exists"),
+            }
+        }
+    }
+
+    /// Evicts a handful of random residents (cheap approximation of an
+    /// eviction policy; production caches would track recency).
+    fn evict_some(&self, zipf: &Zipf, rng: &mut SplitMix64) {
+        let mut evicted = 0;
+        while evicted < 64 {
+            let key = zipf.sample(rng);
+            if self.map.remove(&key).is_some() {
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+fn value_for(key: u64) -> Value {
+    let mut v = [0u8; 32];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v
+}
+
+fn run(threads: usize, ops_per_thread: u64) {
+    let cache = Cache::new(1 << 17);
+    // Zipf-skewed popularity over a universe larger than the cache, the
+    // classic cache-workload shape (s ≈ 0.99).
+    let zipf = Zipf::new(1 << 19, 0.99);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let cache = &cache;
+            let zipf = &zipf;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0xcafe + t);
+                for _ in 0..ops_per_thread {
+                    let key = zipf.sample(&mut rng);
+                    if rng.below(10) < 9 {
+                        // 90% GET; on miss, populate (read-through).
+                        if cache.get(key).is_none() {
+                            cache.set(key, value_for(key), zipf, &mut rng);
+                        }
+                    } else {
+                        cache.set(key, value_for(key), zipf, &mut rng);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total_ops = threads as u64 * ops_per_thread;
+    let hits = cache.hits.load(Ordering::Relaxed);
+    let misses = cache.misses.load(Ordering::Relaxed);
+    println!(
+        "{threads} threads: {:.2} Mops, hit rate {:.1}%, {} residents, {} evictions",
+        total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        hits as f64 / (hits + misses).max(1) as f64 * 100.0,
+        cache.map.len(),
+        cache.evictions.load(Ordering::Relaxed),
+    );
+}
+
+fn main() {
+    println!("memcached-style cache on cuckoo+ (90% GET / 10% SET, zipf keys)");
+    for threads in [1, 2, 4, 8] {
+        run(threads, 200_000);
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the EuroSys 2014 concurrent-cuckoo-hashing
+//! reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one dependency:
+//!
+//! - [`cuckoo`] — the hash tables (cuckoo+, MemC3 baseline, elided
+//!   variant, libcuckoo-style general map);
+//! - [`htm`] — the software transactional memory / lock-elision
+//!   substrate standing in for Intel TSX;
+//! - [`baselines`] — the comparison tables (dense open addressing, node
+//!   chaining, TBB-style chaining);
+//! - [`cache`] — the MemC3-style CLOCK cache built on the cuckoo table;
+//! - [`workload`] — workload generation and throughput measurement.
+
+pub use baselines;
+pub use cache;
+pub use cuckoo;
+pub use htm;
+pub use workload;
