@@ -1,0 +1,107 @@
+//! End-to-end network throughput: `cuckood` served over real TCP.
+//!
+//! The paper's headline numbers are in-process table operations; MemC3's
+//! own evaluation adds the full network stack. This bench closes that
+//! gap for the reproduction: it spawns the `cuckood` server in-process
+//! on an ephemeral loopback port, drives it with the pipelined client in
+//! `workload::net`, and reports wire throughput for both storage engines
+//! (the bounded CLOCK cache and the unbounded cuckoo map) across read
+//! mixes.
+//!
+//! Loopback numbers measure protocol + connection-handling overhead, not
+//! NIC behavior — compare engines and mixes against each other, not
+//! against the paper's absolute Mops.
+//!
+//! Scale knobs (also see `CUCKOO_BENCH_*`):
+//!
+//! - `CUCKOO_BENCH_NET_OPS` — timed operations per cell (default 200_000)
+//! - `CUCKOO_BENCH_NET_DEPTH` — pipeline depth (default 32)
+
+use workload::net::{NetSpec, NetReport};
+use workload::report::{mops, Table};
+
+fn net_ops() -> u64 {
+    std::env::var("CUCKOO_BENCH_NET_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000)
+}
+
+fn depth() -> usize {
+    std::env::var("CUCKOO_BENCH_NET_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn run_cell(no_evict: bool, read_pct: u8, threads: usize) -> NetReport {
+    let handle = server::spawn(server::Config {
+        port: 0,
+        capacity: 1 << 17,
+        workers: threads,
+        no_evict,
+        ..Default::default()
+    })
+    .expect("spawn cuckood");
+    let spec = NetSpec {
+        addr: handle.local_addr().to_string(),
+        threads,
+        connections: threads * 2,
+        pipeline_depth: depth(),
+        keyspace: 50_000,
+        zipf_s: 0.99,
+        read_pct,
+        value_len: 32,
+        total_ops: net_ops(),
+        prefill: true,
+    };
+    let report = workload::net::run(&spec).expect("net driver");
+    handle.shutdown();
+    report
+}
+
+fn main() {
+    bench::banner(
+        "net_throughput",
+        "end-to-end memcached-protocol throughput over loopback TCP",
+    );
+    let threads = *bench::thread_counts().last().unwrap_or(&4);
+    let mut table = Table::new(
+        format!(
+            "cuckood over loopback: {} ops, depth {}, {} client threads, Zipf 0.99",
+            net_ops(),
+            depth(),
+            threads
+        ),
+        &[
+            "engine",
+            "read%",
+            "Mops",
+            "hit%",
+            "batch p50 us",
+            "batch p99 us",
+            "errors",
+        ],
+    );
+    for &no_evict in &[false, true] {
+        let engine = if no_evict { "cuckoo (no-evict)" } else { "clock cache" };
+        for &read_pct in &[50u8, 90, 100] {
+            let r = run_cell(no_evict, read_pct, threads);
+            let hit_rate = if r.gets > 0 { r.hits as f64 / r.gets as f64 } else { 0.0 };
+            table.row(vec![
+                engine.to_string(),
+                format!("{read_pct}"),
+                mops(r.mops()),
+                format!("{:.1}", hit_rate * 100.0),
+                format!("{:.1}", r.batch_rtt.percentile(50.0) as f64 / 1000.0),
+                format!("{:.1}", r.batch_rtt.percentile(99.0) as f64 / 1000.0),
+                r.errors.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    match table.write_csv("net_throughput") {
+        Ok(path) => println!("(csv: {})", path.display()),
+        Err(e) => println!("(csv not written: {e})"),
+    }
+}

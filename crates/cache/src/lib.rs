@@ -51,6 +51,18 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Second chances granted (recency bit cleared instead of evicting).
     pub second_chances: u64,
+    /// Entries newly inserted (`put` of an absent key, successful
+    /// `put_if_absent`).
+    pub inserts: u64,
+    /// In-place replacements (`put` of a present key, successful
+    /// `replace`).
+    pub updates: u64,
+    /// Explicit `delete` calls that removed an entry.
+    pub deletes: u64,
+    /// Lazy TTL expirations reported by the owner via
+    /// [`ClockCache::record_expiration`] (the cache itself has no clock;
+    /// the layer that stamps lifetimes also detects their end).
+    pub expirations: u64,
 }
 
 /// A fixed-capacity concurrent cache with CLOCK eviction over a cuckoo+
@@ -88,6 +100,10 @@ pub struct ClockCache<V: Plain> {
     misses: AtomicU64,
     evictions: AtomicU64,
     second_chances: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+    expirations: AtomicU64,
 }
 
 impl<V: Plain> ClockCache<V> {
@@ -111,6 +127,10 @@ impl<V: Plain> ClockCache<V> {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             second_chances: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
         }
     }
 
@@ -136,7 +156,20 @@ impl<V: Plain> ClockCache<V> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             second_chances: self.second_chances.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records a lazy TTL expiration. The cache stores opaque values and
+    /// has no notion of time; an owner that embeds lifetimes in its
+    /// values calls this when it deletes an entry because it expired (as
+    /// the `cuckood` server does), so `stats` can tell expiry apart from
+    /// both eviction and explicit deletion.
+    pub fn record_expiration(&self) {
+        self.expirations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Looks up `key`, marking it recently used on a hit.
@@ -161,39 +194,84 @@ impl<V: Plain> ClockCache<V> {
     /// capacity.
     pub fn put(&self, key: u64, value: V) {
         loop {
-            // Replace in place when present: the read-modify-write runs
-            // under the table's pair lock, so the slot index we mark
-            // recent is the entry's *current* slot (a stale get+update
-            // pair could resurrect a recycled slot index).
-            if let Some((slot, _)) = self.map.read_modify_write(&key, |(s, _)| (s, value)) {
-                self.recency[slot as usize].store(1, Ordering::Relaxed);
+            if self.replace(key, value) {
                 return;
             }
-            let slot = self.alloc_slot();
-            self.slab_keys[slot as usize].store(key, Ordering::Release);
+            match self.insert_absent(key, value) {
+                Some(true) => return,
+                // Racing put of the same key won; retry as a replace.
+                Some(false) => continue,
+                // Transient table-full squeeze; retry from the top.
+                None => continue,
+            }
+        }
+    }
+
+    /// Stores `key → value` only if the key is already present
+    /// (memcached `replace`). Returns whether it stored.
+    pub fn replace(&self, key: u64, value: V) -> bool {
+        // Replace in place when present: the read-modify-write runs
+        // under the table's pair lock, so the slot index we mark
+        // recent is the entry's *current* slot (a stale get+update
+        // pair could resurrect a recycled slot index).
+        if let Some((slot, _)) = self.map.read_modify_write(&key, |(s, _)| (s, value)) {
             self.recency[slot as usize].store(1, Ordering::Relaxed);
-            match self.map.insert(key, (slot, value)) {
-                Ok(()) => {
-                    // Publish to the CLOCK hand only once the entry is
-                    // resident.
-                    self.state[slot as usize].store(USED, Ordering::Release);
-                    return;
-                }
-                Err(InsertError::KeyExists) => {
-                    // Racing put of the same key won; return our slot and
-                    // retry as an update.
-                    self.abandon_slot(slot);
-                }
-                Err(InsertError::TableFull) => {
-                    // 2x headroom makes this rare; make room and retry
-                    // with the same slot.
-                    self.evict_one();
-                    match self.map.insert(key, (slot, value)) {
-                        Ok(()) => {
-                            self.state[slot as usize].store(USED, Ordering::Release);
-                            return;
-                        }
-                        Err(_) => self.abandon_slot(slot),
+            self.updates.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stores `key → value` only if the key is absent (memcached `add`).
+    /// Returns whether it stored. Atomic against racing `put_if_absent`
+    /// and `put` of the same key: exactly one writer wins, the rest see
+    /// `false`.
+    pub fn put_if_absent(&self, key: u64, value: V) -> bool {
+        loop {
+            match self.insert_absent(key, value) {
+                Some(stored) => return stored,
+                None => continue,
+            }
+        }
+    }
+
+    /// One attempt to insert an absent key. `Some(true)`: inserted;
+    /// `Some(false)`: the key exists; `None`: the table was full even
+    /// after an eviction round (caller retries).
+    fn insert_absent(&self, key: u64, value: V) -> Option<bool> {
+        let slot = self.alloc_slot();
+        self.slab_keys[slot as usize].store(key, Ordering::Release);
+        self.recency[slot as usize].store(1, Ordering::Relaxed);
+        match self.map.insert(key, (slot, value)) {
+            Ok(()) => {
+                // Publish to the CLOCK hand only once the entry is
+                // resident.
+                self.state[slot as usize].store(USED, Ordering::Release);
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                Some(true)
+            }
+            Err(InsertError::KeyExists) => {
+                self.abandon_slot(slot);
+                Some(false)
+            }
+            Err(InsertError::TableFull) => {
+                // 2x headroom makes this rare; make room and retry
+                // with the same slot.
+                self.evict_one();
+                match self.map.insert(key, (slot, value)) {
+                    Ok(()) => {
+                        self.state[slot as usize].store(USED, Ordering::Release);
+                        self.inserts.fetch_add(1, Ordering::Relaxed);
+                        Some(true)
+                    }
+                    Err(InsertError::KeyExists) => {
+                        self.abandon_slot(slot);
+                        Some(false)
+                    }
+                    Err(InsertError::TableFull) => {
+                        self.abandon_slot(slot);
+                        None
                     }
                 }
             }
@@ -201,18 +279,47 @@ impl<V: Plain> ClockCache<V> {
     }
 
     /// Removes `key`, returning its value.
+    ///
+    /// Claims the slot (`USED → EVICTING`) *before* removing the map
+    /// entry. The reverse order (remove, then flip the state) is an ABA
+    /// bug: between the removal and the state change, the CLOCK hand can
+    /// observe the orphaned slot, release it, and a racing `put` can
+    /// re-allocate it — at which point the delayed state change frees a
+    /// slot the new entry still owns, the freelist holds it twice, and
+    /// two live entries end up sharing one slot (caught by the churn
+    /// test as `len() > capacity`).
     pub fn delete(&self, key: u64) -> Option<V> {
-        let (slot, v) = self.map.remove(&key)?;
-        // Hand the slot back unless the CLOCK hand already owns it
-        // (state EVICTING) — then the evictor performs the release,
-        // keeping every slot on the freelist exactly once.
-        if self.state[slot as usize]
-            .compare_exchange(USED, FREE, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
-        {
-            self.free.lock().unwrap().push(slot);
+        loop {
+            let (slot, _) = self.map.get(&key)?;
+            let si = slot as usize;
+            if self.state[si]
+                .compare_exchange(USED, EVICTING, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                // SETUP (its put is between insert and publish) or
+                // EVICTING (the hand owns it); the owner resolves the
+                // state promptly — re-read and retry.
+                std::hint::spin_loop();
+                continue;
+            }
+            // Exclusive reclamation right on `slot`. Remove only while
+            // the entry still references it: the lookup above is
+            // optimistic, and the entry may have been re-keyed onto a
+            // different slot in between.
+            match self.map.remove_if(&key, |(s, _)| *s == slot) {
+                Some((_, v)) => {
+                    self.deletes.fetch_add(1, Ordering::Relaxed);
+                    self.release_slot(slot);
+                    return Some(v);
+                }
+                None => {
+                    // The entry moved or a racing delete/evictor got it;
+                    // give the slot back to its current owner and
+                    // re-examine the key.
+                    self.state[si].store(USED, Ordering::Release);
+                }
+            }
         }
-        Some(v)
     }
 
     /// Pops a free slot (in SETUP state, invisible to the hand), evicting
@@ -398,6 +505,45 @@ mod tests {
         assert_eq!(used, c.len(), "slab/map divergence");
         let free = c.free.lock().unwrap().len();
         assert_eq!(used + free, c.capacity);
+    }
+
+    #[test]
+    fn add_replace_semantics() {
+        let c: ClockCache<u64> = ClockCache::new(64);
+        assert!(!c.replace(1, 10), "replace of absent key must fail");
+        assert!(c.put_if_absent(1, 10), "add of absent key must store");
+        assert!(!c.put_if_absent(1, 11), "add of present key must fail");
+        assert_eq!(c.get(1), Some(10));
+        assert!(c.replace(1, 12));
+        assert_eq!(c.get(1), Some(12));
+        let s = c.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.deletes, 0);
+        c.delete(1);
+        assert_eq!(c.stats().deletes, 1);
+        c.record_expiration();
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn racing_adds_store_exactly_once() {
+        let c: ClockCache<u64> = ClockCache::new(1024);
+        let wins: AtomicU64 = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (c, wins) = (&c, &wins);
+                s.spawn(move || {
+                    for k in 0..500u64 {
+                        if c.put_if_absent(k, k) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 500, "each key admits one add");
+        assert_eq!(c.len(), 500);
     }
 
     #[test]

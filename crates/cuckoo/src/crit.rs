@@ -106,6 +106,7 @@ where
 
 /// Inserts at a *specific* slot (the head of an executed cuckoo path),
 /// failing if the slot has been taken since.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's operation signature
 pub(crate) fn add_at_slot<C, K, V, const B: usize>(
     ctx: &mut C,
     raw: &RawTable<K, V, B>,
@@ -381,6 +382,7 @@ where
 /// duplicate check, DFS path search, and execution — inside one critical
 /// section. This is the MemC3 baseline configuration whose enormous
 /// transactional footprint the paper's Figure 5b quantifies.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's operation signature
 pub(crate) fn insert_critical_full<C, K, V, const B: usize>(
     ctx: &mut C,
     raw: &RawTable<K, V, B>,

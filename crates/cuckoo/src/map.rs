@@ -63,7 +63,10 @@ pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
     count: ShardedCounter,
     max_search_slots: usize,
     /// Retired bucket arrays, kept so unlocked searchers racing an
-    /// expansion read live (if stale) memory.
+    /// expansion read live (if stale) memory. The boxes are load-bearing:
+    /// raced pointers into a retired table must stay stable when the
+    /// graveyard vector reallocates.
+    #[allow(clippy::vec_box)]
     graveyard: Mutex<Vec<Box<RawTable<K, V, B>>>>,
 }
 
@@ -150,11 +153,9 @@ where
             if !self.is_current(raw) {
                 continue; // expanded while we were locking
             }
-            return match Self::locked_find(raw, ks, key) {
+            return Self::locked_find(raw, ks, key)
                 // SAFETY: pair lock held; the slot is occupied.
-                Some((bi, s)) => Some(f(unsafe { &*raw.bucket(bi).val_ptr(s) })),
-                None => None,
-            };
+                .map(|(bi, s)| f(unsafe { &*raw.bucket(bi).val_ptr(s) }));
         }
     }
 

@@ -299,9 +299,9 @@ where
         let coords: Vec<_> = self.raw.occupied_coords().collect();
         for (bi, s) in coords {
             // SAFETY: exclusive access; slot occupied; entries are
-            // `Plain` (no drop glue), so clearing suffices... but drop
-            // them properly anyway for uniformity.
-            drop(unsafe { self.raw.take_entry(bi, s) });
+            // `Plain` (no drop glue), so taking the entry out of the
+            // slot is all the cleanup there is.
+            let _ = unsafe { self.raw.take_entry(bi, s) };
         }
         self.count.reset();
     }

@@ -119,7 +119,7 @@ impl VersionLock {
         let mut watchdog = 0u64;
         loop {
             let v = self.word.load(Ordering::Acquire);
-            if v & LOCKED == 0 && v % 2 == 0 {
+            if v & LOCKED == 0 && v.is_multiple_of(2) {
                 return ReadStamp(v);
             }
             watchdog += 1;

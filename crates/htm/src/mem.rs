@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 /// call; `dst` must be valid for `len` writes and not overlap the source.
 /// Concurrent writers to the source are permitted.
 pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
-    if addr % 8 == 0 && len % 8 == 0 && (dst as usize) % 8 == 0 {
+    if addr.is_multiple_of(8) && len.is_multiple_of(8) && (dst as usize).is_multiple_of(8) {
         for i in 0..len / 8 {
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
             let v = unsafe { &*((addr + i * 8) as *const AtomicU64) }.load(Ordering::Relaxed);
@@ -44,7 +44,7 @@ pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
 /// destination. Concurrent (validating) readers of the destination are
 /// permitted; concurrent writers are not.
 pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
-    if addr % 8 == 0 && len % 8 == 0 && (src as usize) % 8 == 0 {
+    if addr.is_multiple_of(8) && len.is_multiple_of(8) && (src as usize).is_multiple_of(8) {
         for i in 0..len / 8 {
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
             let v = unsafe { (src as *const u64).add(i).read() };

@@ -338,7 +338,7 @@ impl<'t> Transaction<'t> {
         }
         // Sort by index; where an index is both written and guarded, the
         // written (stamped) entry wins the dedup.
-        s.commit_orecs.sort_unstable_by(|a, b| (a.0, !a.1).cmp(&(b.0, !b.1)));
+        s.commit_orecs.sort_unstable_by_key(|e| (e.0, !e.1));
         s.commit_orecs.dedup_by_key(|e| e.0);
 
         // Phase 1: acquire write-set and guard orecs in sorted order

@@ -1,0 +1,248 @@
+//! Per-connection state machine: reused buffers, incremental parsing,
+//! request execution, and write flushing over a nonblocking socket.
+//!
+//! Each connection owns a receive buffer and a response buffer that
+//! persist across requests (allocation amortizes to zero on a busy
+//! connection). A `pump` cycle reads whatever the socket has, parses and
+//! executes every complete request in the buffer (responses accumulate
+//! in the write buffer — pipelined clients get pipelined replies), then
+//! flushes as much of the write buffer as the socket accepts.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::proto::{self, Parsed, Request};
+use crate::stats::OpClass;
+use crate::store::StoreOutcome;
+use crate::ServerCtx;
+
+/// Read chunk size; also the growth step for the receive buffer.
+const READ_CHUNK: usize = 16 * 1024;
+/// Above this, an idle connection's buffers are shrunk back.
+const BUFFER_KEEP: usize = 64 * 1024;
+
+/// What `pump` tells the worker about the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpResult {
+    /// Still open; `true` if any bytes moved or requests ran.
+    Open { progress: bool },
+    /// Closed (quit, EOF, fatal protocol error, or I/O error).
+    Closed,
+}
+
+pub struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    /// Stop reading; flush what is queued, then close.
+    closing: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Self {
+        Conn { stream, rbuf: Vec::new(), wbuf: Vec::new(), wpos: 0, closing: false }
+    }
+
+    /// One service cycle. Never blocks.
+    pub fn pump(&mut self, ctx: &ServerCtx) -> PumpResult {
+        let mut progress = false;
+
+        if !self.closing {
+            match self.fill() {
+                Ok(n) => progress |= n > 0,
+                Err(FillEnd::Eof) => self.closing = true,
+                Err(FillEnd::Fatal) => return PumpResult::Closed,
+            }
+            progress |= self.drain_requests(ctx);
+        }
+
+        match self.flush() {
+            Ok(n) => progress |= n > 0,
+            Err(()) => return PumpResult::Closed,
+        }
+
+        if self.closing && self.wpos == self.wbuf.len() {
+            return PumpResult::Closed;
+        }
+        if !progress {
+            self.maybe_shrink();
+        }
+        PumpResult::Open { progress }
+    }
+
+    /// Marks the connection for graceful shutdown: already-buffered
+    /// requests still execute on the next pump, queued responses flush,
+    /// then the socket closes.
+    pub fn begin_drain(&mut self, ctx: &ServerCtx) {
+        if !self.closing {
+            // Serve what the client already sent before going away.
+            self.drain_requests(ctx);
+            self.closing = true;
+        }
+    }
+
+    /// Reads until `WouldBlock`/EOF; returns bytes read.
+    fn fill(&mut self) -> Result<usize, FillEnd> {
+        let mut total = 0;
+        loop {
+            let old = self.rbuf.len();
+            self.rbuf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[old..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old);
+                    return if total > 0 { Ok(total) } else { Err(FillEnd::Eof) };
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old + n);
+                    total += n;
+                    // Don't let one firehose connection starve the rest of
+                    // the worker's shard.
+                    if total >= 4 * READ_CHUNK {
+                        return Ok(total);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old);
+                    return Ok(total);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old);
+                }
+                Err(_) => {
+                    self.rbuf.truncate(old);
+                    return Err(FillEnd::Fatal);
+                }
+            }
+        }
+    }
+
+    /// Parses and executes every complete request in `rbuf`. Returns
+    /// whether any request was handled.
+    fn drain_requests(&mut self, ctx: &ServerCtx) -> bool {
+        let mut consumed = 0;
+        let mut any = false;
+        while !self.closing {
+            match proto::parse(&self.rbuf[consumed..]) {
+                Parsed::Ok { request, consumed: used } => {
+                    any = true;
+                    let quit = execute(&request, ctx, &mut self.wbuf);
+                    consumed += used;
+                    if quit {
+                        self.closing = true;
+                    }
+                }
+                Parsed::Incomplete => break,
+                Parsed::Err(e) => {
+                    ctx.stats.protocol_errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    e.encode(&mut self.wbuf);
+                    match e.recover_by {
+                        Some(skip) => consumed += skip,
+                        None => self.closing = true,
+                    }
+                    any = true;
+                }
+            }
+        }
+        if consumed > 0 {
+            self.rbuf.drain(..consumed);
+        }
+        any
+    }
+
+    /// Writes as much queued response data as the socket accepts.
+    fn flush(&mut self) -> Result<usize, ()> {
+        let mut total = 0;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    self.wpos += n;
+                    total += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if self.wpos == self.wbuf.len() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(total)
+    }
+
+    /// Returns oversized buffers to a sane footprint once idle.
+    fn maybe_shrink(&mut self) {
+        if self.rbuf.capacity() > BUFFER_KEEP && self.rbuf.len() < BUFFER_KEEP / 2 {
+            self.rbuf.shrink_to(BUFFER_KEEP);
+        }
+        if self.wbuf.capacity() > BUFFER_KEEP && self.wbuf.len() - self.wpos < BUFFER_KEEP / 2 {
+            let pending: Vec<u8> = self.wbuf[self.wpos..].to_vec();
+            self.wbuf = pending;
+            self.wpos = 0;
+        }
+    }
+}
+
+enum FillEnd {
+    Eof,
+    Fatal,
+}
+
+/// Executes one request, appending the response to `out`. Returns `true`
+/// for `quit`.
+fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
+    let t0 = Instant::now();
+    let class = match req {
+        Request::Get { keys, with_cas } => {
+            let now = crate::store::now_secs();
+            for key in keys {
+                if let Some(item) = ctx.store.get(key, now) {
+                    proto::encode_value(out, key, item.flags, &item.data, with_cas.then_some(item.cas));
+                }
+            }
+            proto::encode_end(out);
+            OpClass::Get
+        }
+        Request::Store { verb, key, flags, exptime, data, noreply } => {
+            let now = crate::store::now_secs();
+            let outcome = ctx.store.store(*verb, key, *flags, *exptime, data, now);
+            if outcome == StoreOutcome::TooLarge {
+                ctx.stats.too_large.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            if !noreply {
+                proto::encode_line(
+                    out,
+                    match outcome {
+                        StoreOutcome::Stored => "STORED",
+                        StoreOutcome::NotStored => "NOT_STORED",
+                        StoreOutcome::TooLarge => "SERVER_ERROR object too large for cache",
+                    },
+                );
+            }
+            OpClass::Store
+        }
+        Request::Delete { key, noreply } => {
+            let deleted = ctx.store.delete(key);
+            if !noreply {
+                proto::encode_line(out, if deleted { "DELETED" } else { "NOT_FOUND" });
+            }
+            OpClass::Delete
+        }
+        Request::Stats => {
+            ctx.stats.encode(out, ctx.store.as_ref(), ctx.workers);
+            proto::encode_end(out);
+            OpClass::Other
+        }
+        Request::Version => {
+            proto::encode_line(out, &format!("VERSION {}", crate::VERSION));
+            OpClass::Other
+        }
+        Request::Quit => return true,
+    };
+    ctx.stats.record(class, t0.elapsed().as_nanos() as u64);
+    false
+}

@@ -1,0 +1,114 @@
+//! Server-side operation statistics: per-op-class latency histograms
+//! (from `workload::latency`) and connection counters, rendered as
+//! memcached `STAT` lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use workload::latency::LatencyHistogram;
+
+use crate::proto::encode_stat;
+use crate::store::{Store, StoreStats};
+
+/// Which histogram an operation's service time lands in.
+#[derive(Debug, Clone, Copy)]
+pub enum OpClass {
+    Get,
+    Store,
+    Delete,
+    Other,
+}
+
+/// Shared (lock-free) server counters; one instance per server, updated
+/// by every worker.
+pub struct ServerStats {
+    started: Instant,
+    pub get_latency: LatencyHistogram,
+    pub store_latency: LatencyHistogram,
+    pub delete_latency: LatencyHistogram,
+    pub other_latency: LatencyHistogram,
+    pub total_connections: AtomicU64,
+    pub curr_connections: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    /// Requests answered `SERVER_ERROR object too large for cache`.
+    pub too_large: AtomicU64,
+}
+
+impl ServerStats {
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            get_latency: LatencyHistogram::new(),
+            store_latency: LatencyHistogram::new(),
+            delete_latency: LatencyHistogram::new(),
+            other_latency: LatencyHistogram::new(),
+            total_connections: AtomicU64::new(0),
+            curr_connections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            too_large: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, class: OpClass, nanos: u64) {
+        self.histogram(class).record(nanos);
+    }
+
+    fn histogram(&self, class: OpClass) -> &LatencyHistogram {
+        match class {
+            OpClass::Get => &self.get_latency,
+            OpClass::Store => &self.store_latency,
+            OpClass::Delete => &self.delete_latency,
+            OpClass::Other => &self.other_latency,
+        }
+    }
+
+    /// Renders the full `stats` response body (without the trailing
+    /// `END`): server identity, store counters, then latency tails.
+    pub fn encode(&self, out: &mut Vec<u8>, store: &dyn Store, workers: usize) {
+        let s: StoreStats = store.stats();
+        encode_stat(out, "pid", std::process::id());
+        encode_stat(out, "uptime", self.started.elapsed().as_secs());
+        encode_stat(out, "time", crate::store::now_secs());
+        encode_stat(out, "version", crate::VERSION);
+        encode_stat(out, "pointer_size", usize::BITS);
+        encode_stat(out, "threads", workers);
+        encode_stat(out, "engine", store.engine());
+        encode_stat(out, "curr_connections", self.curr_connections.load(Ordering::Relaxed));
+        encode_stat(out, "total_connections", self.total_connections.load(Ordering::Relaxed));
+        encode_stat(out, "curr_items", s.len);
+        encode_stat(out, "max_items", s.capacity);
+        encode_stat(out, "cmd_get", self.get_latency.len());
+        encode_stat(out, "cmd_set", self.store_latency.len());
+        encode_stat(out, "cmd_delete", self.delete_latency.len());
+        encode_stat(out, "get_hits", s.cache.hits);
+        encode_stat(out, "get_misses", s.cache.misses);
+        encode_stat(out, "evictions", s.cache.evictions);
+        encode_stat(out, "second_chances", s.cache.second_chances);
+        encode_stat(out, "expired", s.cache.expirations);
+        encode_stat(out, "total_inserts", s.cache.inserts);
+        encode_stat(out, "total_updates", s.cache.updates);
+        encode_stat(out, "total_deletes", s.cache.deletes);
+        encode_stat(out, "hash_collisions", s.hash_collisions);
+        encode_stat(out, "protocol_errors", self.protocol_errors.load(Ordering::Relaxed));
+        encode_stat(out, "object_too_large", self.too_large.load(Ordering::Relaxed));
+        for (name, h) in [
+            ("get", &self.get_latency),
+            ("store", &self.store_latency),
+            ("delete", &self.delete_latency),
+        ] {
+            if h.is_empty() {
+                continue;
+            }
+            encode_stat(out, &format!("lat_{name}_mean_ns"), format!("{:.0}", h.mean()));
+            encode_stat(out, &format!("lat_{name}_p50_ns"), h.percentile(50.0));
+            encode_stat(out, &format!("lat_{name}_p99_ns"), h.percentile(99.0));
+            encode_stat(out, &format!("lat_{name}_p999_ns"), h.percentile(99.9));
+            encode_stat(out, &format!("lat_{name}_max_ns"), h.max());
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}

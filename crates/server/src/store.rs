@@ -1,0 +1,548 @@
+//! Storage engines behind the wire protocol.
+//!
+//! Two interchangeable backends implement [`Store`]:
+//!
+//! - [`ClockStore`] (the default) fronts [`cache::ClockCache`] — the
+//!   MemC3-style bounded cache. Byte-string keys are mapped onto the
+//!   table's `u64` key space with the workspace's SipHash-1-3 (seeded per
+//!   process), and the full key + value + metadata are packed into a
+//!   fixed [`InlineEntry`] so the table's optimistic read path serves
+//!   whole items with zero locking. This mirrors the paper's §6 MemC3
+//!   evaluation, which uses small fixed-size items; items that do not
+//!   fit the inline budget are refused with `SERVER_ERROR object too
+//!   large for cache`.
+//! - [`CuckooStore`] (`--no-evict`) fronts [`cuckoo::CuckooMap`] — the
+//!   general auto-resizing table. Arbitrary item sizes, no eviction:
+//!   the working set is bounded only by memory, as when `cuckood` is
+//!   used as a plain key-value store rather than a cache.
+//!
+//! Expiry (`exptime`) follows memcached: `0` never expires, values up to
+//! thirty days are relative seconds, larger values are absolute unix
+//! time. Expiry is lazy — detected on access, counted via
+//! [`cache::CacheStats::expirations`].
+
+use cache::{CacheStats, ClockCache};
+use cuckoo::hash::SipHashBuilder;
+use cuckoo::CuckooMap;
+use htm::Plain;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::proto::StoreVerb;
+
+/// `exptime` values above this are absolute unix timestamps.
+const THIRTY_DAYS: u32 = 60 * 60 * 24 * 30;
+
+/// Current unix time in seconds, saturated into `u32` (valid until 2106).
+pub fn now_secs() -> u32 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs().min(u32::MAX as u64) as u32)
+        .unwrap_or(0)
+}
+
+/// Resolves a wire `exptime` into an absolute deadline (`0` = never).
+fn deadline(exptime: u32, now: u32) -> u32 {
+    match exptime {
+        0 => 0,
+        t if t <= THIRTY_DAYS => now.saturating_add(t),
+        t => t,
+    }
+}
+
+fn expired(deadline: u32, now: u32) -> bool {
+    deadline != 0 && now >= deadline
+}
+
+/// Result of a storage command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// `STORED`
+    Stored,
+    /// `NOT_STORED` — `add` hit a present key / `replace` an absent one.
+    NotStored,
+    /// `SERVER_ERROR object too large for cache`
+    TooLarge,
+}
+
+/// An owned item copy handed to the connection for response encoding.
+pub struct ItemOut {
+    pub flags: u32,
+    pub cas: u64,
+    pub data: Vec<u8>,
+}
+
+/// Counters surfaced by the `stats` command, uniform across backends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    pub cache: CacheStats,
+    pub len: usize,
+    pub capacity: usize,
+    /// ClockStore only: gets whose 64-bit key hash collided with a
+    /// different resident key (answered as a miss).
+    pub hash_collisions: u64,
+}
+
+/// The protocol-facing storage interface. `now` is passed in (rather
+/// than read internally) so tests can drive time.
+pub trait Store: Send + Sync + 'static {
+    fn get(&self, key: &[u8], now: u32) -> Option<ItemOut>;
+    fn store(
+        &self,
+        verb: StoreVerb,
+        key: &[u8],
+        flags: u32,
+        exptime: u32,
+        data: &[u8],
+        now: u32,
+    ) -> StoreOutcome;
+    fn delete(&self, key: &[u8]) -> bool;
+    fn stats(&self) -> StoreStats;
+    /// Human label for the `stats` output.
+    fn engine(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// ClockStore: bounded cache, inline fixed-size items
+// ---------------------------------------------------------------------------
+
+/// Inline item budget: key + value together. With the 24-byte header the
+/// whole entry is 256 bytes — four cache lines per optimistic copy-out.
+pub const INLINE_DATA: usize = 232;
+
+/// A complete item (key, value, metadata) packed into a POD block so it
+/// can live *inside* the cuckoo table and be read via the paper's
+/// lock-free optimistic path.
+#[derive(Clone, Copy)]
+#[repr(C)]
+pub struct InlineEntry {
+    klen: u16,
+    vlen: u16,
+    flags: u32,
+    expires_at: u32,
+    _pad: u32,
+    cas: u64,
+    bytes: [u8; INLINE_DATA],
+}
+
+// SAFETY: all fields are integers or byte arrays; every bit pattern is a
+// valid value. Lengths are re-clamped on every read, so even a torn
+// (pre-validation) copy cannot index out of bounds.
+unsafe impl Plain for InlineEntry {}
+
+impl InlineEntry {
+    fn new(key: &[u8], flags: u32, expires_at: u32, cas: u64, data: &[u8]) -> Option<Self> {
+        if key.len() + data.len() > INLINE_DATA {
+            return None;
+        }
+        let mut bytes = [0u8; INLINE_DATA];
+        bytes[..key.len()].copy_from_slice(key);
+        bytes[key.len()..key.len() + data.len()].copy_from_slice(data);
+        Some(InlineEntry {
+            klen: key.len() as u16,
+            vlen: data.len() as u16,
+            flags,
+            expires_at,
+            _pad: 0,
+            cas,
+            bytes,
+        })
+    }
+
+    fn key(&self) -> &[u8] {
+        let k = (self.klen as usize).min(INLINE_DATA);
+        &self.bytes[..k]
+    }
+
+    fn value(&self) -> &[u8] {
+        let k = (self.klen as usize).min(INLINE_DATA);
+        let v = (self.vlen as usize).min(INLINE_DATA - k);
+        &self.bytes[k..k + v]
+    }
+}
+
+/// Bounded CLOCK-evicting store over `cache::ClockCache`.
+pub struct ClockStore {
+    cache: ClockCache<InlineEntry>,
+    hasher: SipHashBuilder,
+    cas: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl ClockStore {
+    /// `capacity` is the maximum resident item count.
+    pub fn new(capacity: usize) -> Self {
+        ClockStore {
+            cache: ClockCache::new(capacity),
+            hasher: SipHashBuilder::new(),
+            cas: AtomicU64::new(1),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    fn hash_key(&self, key: &[u8]) -> u64 {
+        let mut h = self.hasher.build_hasher();
+        h.write(key);
+        h.finish()
+    }
+
+    fn next_cas(&self) -> u64 {
+        self.cas.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Store for ClockStore {
+    fn get(&self, key: &[u8], now: u32) -> Option<ItemOut> {
+        let h = self.hash_key(key);
+        let e = self.cache.get(h)?;
+        if e.key() != key {
+            // 64-bit hash collision between distinct resident keys:
+            // indistinguishable from a miss at the protocol level.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if expired(e.expires_at, now) {
+            self.cache.delete(h);
+            self.cache.record_expiration();
+            return None;
+        }
+        Some(ItemOut { flags: e.flags, cas: e.cas, data: e.value().to_vec() })
+    }
+
+    fn store(
+        &self,
+        verb: StoreVerb,
+        key: &[u8],
+        flags: u32,
+        exptime: u32,
+        data: &[u8],
+        now: u32,
+    ) -> StoreOutcome {
+        let h = self.hash_key(key);
+        let Some(entry) = InlineEntry::new(key, flags, deadline(exptime, now), self.next_cas(), data)
+        else {
+            return StoreOutcome::TooLarge;
+        };
+        // Lazily reap an expired incumbent so add/replace see it as
+        // absent, as memcached semantics require.
+        if let Some(old) = self.cache.get(h) {
+            if old.key() == key && expired(old.expires_at, now) {
+                self.cache.delete(h);
+                self.cache.record_expiration();
+            }
+        }
+        let stored = match verb {
+            StoreVerb::Set => {
+                self.cache.put(h, entry);
+                true
+            }
+            StoreVerb::Add => self.cache.put_if_absent(h, entry),
+            StoreVerb::Replace => self.cache.replace(h, entry),
+        };
+        if stored {
+            StoreOutcome::Stored
+        } else {
+            StoreOutcome::NotStored
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        let h = self.hash_key(key);
+        // Only delete what the client named: verify the resident key.
+        match self.cache.get(h) {
+            Some(e) if e.key() == key => self.cache.delete(h).is_some(),
+            _ => false,
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            cache: self.cache.stats(),
+            len: self.cache.len(),
+            capacity: self.cache.capacity(),
+            hash_collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn engine(&self) -> &'static str {
+        "clock-cuckoo"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CuckooStore: unbounded (resizing) table, arbitrary item sizes
+// ---------------------------------------------------------------------------
+
+struct StoredItem {
+    flags: u32,
+    expires_at: u32,
+    cas: u64,
+    data: Box<[u8]>,
+}
+
+/// No-eviction store over the general `cuckoo::CuckooMap`.
+pub struct CuckooStore {
+    map: CuckooMap<Box<[u8]>, Arc<StoredItem>, 8>,
+    cas: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+    expirations: AtomicU64,
+}
+
+impl CuckooStore {
+    pub fn new(capacity: usize) -> Self {
+        CuckooStore {
+            map: CuckooMap::with_capacity(capacity),
+            cas: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches the live (unexpired) item, reaping it lazily otherwise.
+    fn live(&self, key: &[u8], now: u32) -> Option<Arc<StoredItem>> {
+        let owned: Box<[u8]> = key.into();
+        let item = self.map.get(&owned)?;
+        if expired(item.expires_at, now) {
+            self.map.remove(&owned);
+            self.expirations.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(item)
+    }
+}
+
+impl Store for CuckooStore {
+    fn get(&self, key: &[u8], now: u32) -> Option<ItemOut> {
+        match self.live(key, now) {
+            Some(item) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(ItemOut { flags: item.flags, cas: item.cas, data: item.data.to_vec() })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(
+        &self,
+        verb: StoreVerb,
+        key: &[u8],
+        flags: u32,
+        exptime: u32,
+        data: &[u8],
+        now: u32,
+    ) -> StoreOutcome {
+        let item = Arc::new(StoredItem {
+            flags,
+            expires_at: deadline(exptime, now),
+            cas: self.cas.fetch_add(1, Ordering::Relaxed),
+            data: data.into(),
+        });
+        let owned: Box<[u8]> = key.into();
+        match verb {
+            StoreVerb::Set => {
+                match self.map.upsert(owned, item) {
+                    cuckoo::UpsertOutcome::Inserted => {
+                        self.inserts.fetch_add(1, Ordering::Relaxed)
+                    }
+                    cuckoo::UpsertOutcome::Updated => {
+                        self.updates.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+                StoreOutcome::Stored
+            }
+            StoreVerb::Add => {
+                // Reap an expired incumbent first so `add` can win.
+                let _ = self.live(key, now);
+                match self.map.insert(owned, item) {
+                    Ok(()) => {
+                        self.inserts.fetch_add(1, Ordering::Relaxed);
+                        StoreOutcome::Stored
+                    }
+                    Err(_) => StoreOutcome::NotStored,
+                }
+            }
+            StoreVerb::Replace => {
+                if self.live(key, now).is_none() {
+                    return StoreOutcome::NotStored;
+                }
+                match self.map.update(&owned, item) {
+                    Some(_) => {
+                        self.updates.fetch_add(1, Ordering::Relaxed);
+                        StoreOutcome::Stored
+                    }
+                    // Raced with a concurrent delete between the liveness
+                    // check and the update.
+                    None => StoreOutcome::NotStored,
+                }
+            }
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        let owned: Box<[u8]> = key.into();
+        if self.map.remove(&owned).is_some() {
+            self.deletes.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            cache: CacheStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                evictions: 0,
+                second_chances: 0,
+                inserts: self.inserts.load(Ordering::Relaxed),
+                updates: self.updates.load(Ordering::Relaxed),
+                deletes: self.deletes.load(Ordering::Relaxed),
+                expirations: self.expirations.load(Ordering::Relaxed),
+            },
+            len: self.map.len(),
+            capacity: self.map.capacity(),
+            hash_collisions: 0,
+        }
+    }
+
+    fn engine(&self) -> &'static str {
+        "cuckoo-noevict"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_common(store: &dyn Store) {
+        let now = 1000;
+        assert!(store.get(b"k", now).is_none());
+        assert_eq!(
+            store.store(StoreVerb::Set, b"k", 7, 0, b"value", now),
+            StoreOutcome::Stored
+        );
+        let item = store.get(b"k", now).expect("stored item readable");
+        assert_eq!(item.flags, 7);
+        assert_eq!(item.data, b"value");
+
+        // add fails on present, replace succeeds.
+        assert_eq!(
+            store.store(StoreVerb::Add, b"k", 0, 0, b"x", now),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(
+            store.store(StoreVerb::Replace, b"k", 1, 0, b"y", now),
+            StoreOutcome::Stored
+        );
+        assert_eq!(store.get(b"k", now).unwrap().data, b"y");
+
+        // replace fails on absent, add succeeds.
+        assert_eq!(
+            store.store(StoreVerb::Replace, b"nope", 0, 0, b"x", now),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(
+            store.store(StoreVerb::Add, b"fresh", 0, 0, b"x", now),
+            StoreOutcome::Stored
+        );
+
+        // delete.
+        assert!(store.delete(b"k"));
+        assert!(!store.delete(b"k"));
+        assert!(store.get(b"k", now).is_none());
+
+        // relative expiry: live at now, gone after the deadline.
+        assert_eq!(
+            store.store(StoreVerb::Set, b"ttl", 0, 10, b"v", now),
+            StoreOutcome::Stored
+        );
+        assert!(store.get(b"ttl", now + 9).is_some());
+        assert!(store.get(b"ttl", now + 10).is_none(), "expired item served");
+        assert!(store.stats().cache.expirations >= 1);
+
+        // an expired incumbent does not block add.
+        assert_eq!(
+            store.store(StoreVerb::Set, b"ttl2", 0, 10, b"v", now),
+            StoreOutcome::Stored
+        );
+        assert_eq!(
+            store.store(StoreVerb::Add, b"ttl2", 0, 0, b"w", now + 100),
+            StoreOutcome::Stored
+        );
+        assert_eq!(store.get(b"ttl2", now + 100).unwrap().data, b"w");
+
+        // cas values increase across stores.
+        store.store(StoreVerb::Set, b"c1", 0, 0, b"v", now);
+        store.store(StoreVerb::Set, b"c2", 0, 0, b"v", now);
+        let c1 = store.get(b"c1", now).unwrap().cas;
+        let c2 = store.get(b"c2", now).unwrap().cas;
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn clock_store_semantics() {
+        check_common(&ClockStore::new(1024));
+    }
+
+    #[test]
+    fn cuckoo_store_semantics() {
+        check_common(&CuckooStore::new(1024));
+    }
+
+    #[test]
+    fn clock_store_rejects_oversized_items() {
+        let s = ClockStore::new(64);
+        let big = vec![0u8; INLINE_DATA + 1];
+        assert_eq!(
+            s.store(StoreVerb::Set, b"k", 0, 0, &big, 0),
+            StoreOutcome::TooLarge
+        );
+        // Key + value together must fit.
+        let key = vec![b'k'; 200];
+        let val = vec![0u8; INLINE_DATA - 200 + 1];
+        assert_eq!(
+            s.store(StoreVerb::Set, &key, 0, 0, &val, 0),
+            StoreOutcome::TooLarge
+        );
+        let val = vec![1u8; INLINE_DATA - 200];
+        assert_eq!(s.store(StoreVerb::Set, &key, 0, 0, &val, 0), StoreOutcome::Stored);
+        assert_eq!(s.get(&key, 0).unwrap().data, val);
+    }
+
+    #[test]
+    fn cuckoo_store_takes_large_items() {
+        let s = CuckooStore::new(64);
+        let big = vec![7u8; 100_000];
+        assert_eq!(s.store(StoreVerb::Set, b"big", 0, 0, &big, 0), StoreOutcome::Stored);
+        assert_eq!(s.get(b"big", 0).unwrap().data, big);
+    }
+
+    #[test]
+    fn clock_store_is_bounded() {
+        let s = ClockStore::new(128);
+        for i in 0..10_000u64 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0),
+                StoreOutcome::Stored
+            );
+        }
+        let st = s.stats();
+        assert!(st.len <= st.capacity);
+        assert!(st.cache.evictions > 0);
+    }
+}

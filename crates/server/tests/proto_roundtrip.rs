@@ -1,0 +1,298 @@
+//! Wire-protocol property tests.
+//!
+//! Three claims about `server::proto` are driven generatively here:
+//!
+//! 1. **Round-trip**: `encode_request` followed by `parse` reproduces the
+//!    original request exactly and consumes exactly the encoded bytes,
+//!    for every command in the subset.
+//! 2. **Incrementality**: every strict prefix of a valid request parses
+//!    as `Incomplete` — never a bogus `Ok`, never an `Err` — so a request
+//!    arriving one byte at a time is handled identically to one arriving
+//!    whole.
+//! 3. **Totality**: the parser never panics, on any input. Malformed
+//!    input is classified as `ERROR` (unknown command) or `CLIENT_ERROR`
+//!    (bad arguments) with a resynchronization offset, or as a clean
+//!    close when resynchronization is impossible.
+
+use proptest::prelude::*;
+use server::proto::{
+    encode_request, parse, ErrorKind, Parsed, Request, StoreVerb, MAX_LINE, MAX_VALUE_SIZE,
+};
+
+/// Strategy for one valid key: 1..=32 printable, space-free ASCII bytes.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(0x21u8..=0x7e, 1usize..33)
+}
+
+/// Re-parse `wire` and demand an exact, fully-consuming round-trip.
+fn assert_roundtrip(
+    wire: &[u8],
+    expect: &Request<'_>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    match parse(wire) {
+        Parsed::Ok { request, consumed } => {
+            prop_assert_eq!(consumed, wire.len());
+            prop_assert_eq!(&request, expect);
+        }
+        other => prop_assert!(false, "expected Ok, got {:?}", other),
+    }
+    Ok(())
+}
+
+proptest! {
+    /// `get`/`gets` with 1..=4 generated keys round-trips.
+    #[test]
+    fn roundtrip_get(keys in collection::vec(key_strategy(), 1usize..5), with_cas in any::<bool>()) {
+        let req = Request::Get {
+            keys: keys.iter().map(|k| k.as_slice()).collect(),
+            with_cas,
+        };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &req);
+        assert_roundtrip(&wire, &req)?;
+    }
+
+    /// `set`/`add`/`replace` round-trips, including binary payloads that
+    /// embed `\r\n` (the length prefix frames them) and the `noreply`
+    /// flag.
+    #[test]
+    fn roundtrip_store(
+        verb_sel in 0u8..3,
+        key in key_strategy(),
+        (flags, exptime) in (any::<u32>(), any::<u32>()),
+        (data, noreply) in (collection::vec(any::<u8>(), 0usize..600), any::<bool>()),
+    ) {
+        let verb = [StoreVerb::Set, StoreVerb::Add, StoreVerb::Replace][verb_sel as usize];
+        let req = Request::Store {
+            verb,
+            key: &key,
+            flags,
+            exptime,
+            data: &data,
+            noreply,
+        };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &req);
+        assert_roundtrip(&wire, &req)?;
+    }
+
+    /// `delete` (with and without `noreply`) round-trips.
+    #[test]
+    fn roundtrip_delete(key in key_strategy(), noreply in any::<bool>()) {
+        let req = Request::Delete { key: &key, noreply };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &req);
+        assert_roundtrip(&wire, &req)?;
+    }
+
+    /// Every strict prefix of a valid request is `Incomplete`: the parser
+    /// neither invents a request from partial bytes nor misreads a
+    /// partial frame as a protocol error.
+    #[test]
+    fn prefixes_are_incomplete(
+        key in key_strategy(),
+        data in collection::vec(any::<u8>(), 0usize..64),
+        cut_sel in any::<u64>(),
+    ) {
+        let req = Request::Store {
+            verb: StoreVerb::Set,
+            key: &key,
+            flags: 1,
+            exptime: 0,
+            data: &data,
+            noreply: false,
+        };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &req);
+        // Check an arbitrary cut plus the always-interesting last byte.
+        let arbitrary_cut = (cut_sel % wire.len() as u64) as usize;
+        for cut in [arbitrary_cut, wire.len() - 1] {
+            prop_assert_eq!(
+                parse(&wire[..cut]),
+                Parsed::Incomplete,
+                "prefix of {} bytes out of {}",
+                cut,
+                wire.len()
+            );
+        }
+    }
+
+    /// Feeding a request byte by byte yields exactly one `Ok`, at the
+    /// final byte, consuming everything — the incremental contract a
+    /// connection relies on.
+    #[test]
+    fn byte_at_a_time_parses_once(keys in collection::vec(key_strategy(), 1usize..4)) {
+        let req = Request::Get {
+            keys: keys.iter().map(|k| k.as_slice()).collect(),
+            with_cas: false,
+        };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &req);
+        let mut fed = Vec::new();
+        for (i, &b) in wire.iter().enumerate() {
+            fed.push(b);
+            match parse(&fed) {
+                Parsed::Incomplete => prop_assert!(i + 1 < wire.len(), "incomplete at final byte"),
+                Parsed::Ok { request, consumed } => {
+                    prop_assert_eq!(i + 1, wire.len(), "Ok before the frame ended");
+                    prop_assert_eq!(consumed, wire.len());
+                    prop_assert_eq!(&request, &req);
+                }
+                Parsed::Err(e) => prop_assert!(false, "spurious error at byte {}: {}", i, e),
+            }
+        }
+    }
+
+    /// Totality under fuzz: random bytes (newline-terminated so the
+    /// parser sees a full line) never panic, and every recoverable error
+    /// reports a resynchronization offset that actually makes progress
+    /// and stays in bounds.
+    #[test]
+    fn arbitrary_lines_never_panic(mut junk in collection::vec(any::<u8>(), 0usize..128)) {
+        junk.push(b'\n');
+        match parse(&junk) {
+            Parsed::Ok { consumed, .. } => {
+                prop_assert!(consumed > 0 && consumed <= junk.len());
+            }
+            Parsed::Incomplete => {
+                // Only possible when the line parsed as a storage header
+                // still waiting for its data block.
+                prop_assert!(junk.len() <= MAX_LINE + MAX_VALUE_SIZE);
+            }
+            Parsed::Err(e) => {
+                if let Some(n) = e.recover_by {
+                    prop_assert!(n > 0 && n <= junk.len(), "recover_by {} of {}", n, junk.len());
+                }
+            }
+        }
+    }
+
+    /// After a recoverable error, skipping `recover_by` bytes leaves the
+    /// stream aligned on the next command: a well-formed follow-up
+    /// request parses cleanly.
+    #[test]
+    fn resynchronization_reaches_next_command(junk in collection::vec(0x20u8..0x7f, 1usize..40)) {
+        // A junk line that happens to spell a storage header would make
+        // the parser treat the follow-up command as its data block;
+        // vanishingly unlikely, but exclude it for determinism.
+        for verb in [b"set".as_slice(), b"add", b"replace"] {
+            prop_assume!(!junk.starts_with(verb));
+        }
+        let mut wire = junk.clone();
+        wire.extend_from_slice(b"\r\nversion\r\n");
+        match parse(&wire) {
+            Parsed::Err(e) => {
+                let Some(skip) = e.recover_by else {
+                    return Err(proptest::fail_msg(
+                        "prop_assert",
+                        format_args!("printable junk line must be recoverable"),
+                    ));
+                };
+                match parse(&wire[skip..]) {
+                    Parsed::Ok { request, consumed } => {
+                        prop_assert_eq!(&request, &Request::Version);
+                        prop_assert_eq!(consumed, wire.len() - skip);
+                    }
+                    other => prop_assert!(false, "after resync: {:?}", other),
+                }
+            }
+            // The junk happened to be a valid command (e.g. "stats"); the
+            // property is about errors, so nothing further to check.
+            Parsed::Ok { .. } | Parsed::Incomplete => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic malformed-input corpus
+// ---------------------------------------------------------------------------
+
+/// What the connection layer should do with a given malformed input.
+enum Expect {
+    /// `ERROR\r\n`, stream stays usable.
+    Unknown,
+    /// `CLIENT_ERROR ...\r\n`, stream resynchronizes.
+    ClientRecoverable,
+    /// `CLIENT_ERROR ...\r\n` then close (`recover_by == None`).
+    Close,
+}
+
+#[test]
+fn malformed_corpus_is_classified_and_never_panics() {
+    let huge_decl = format!("set k 0 0 {}\r\n", MAX_VALUE_SIZE + 1);
+    let long_key = format!("get {}\r\n", "k".repeat(251));
+    let unterminated = vec![b'a'; MAX_LINE + 1];
+    let corpus: Vec<(&[u8], Expect, &str)> = vec![
+        (b"flush_all\r\n", Expect::Unknown, "unsupported command"),
+        (b"\r\n", Expect::Unknown, "blank line"),
+        (b"  \r\n", Expect::Unknown, "spaces-only line"),
+        (b"\xff\xfe garbage \x01\r\n", Expect::Unknown, "binary junk command"),
+        (b"get\r\n", Expect::ClientRecoverable, "get without key"),
+        (long_key.as_bytes(), Expect::ClientRecoverable, "251-byte key"),
+        (b"get k\x7fey\r\n", Expect::ClientRecoverable, "control byte in key"),
+        (b"set k 0 0 abc\r\n", Expect::ClientRecoverable, "non-numeric byte count"),
+        (b"set k 0 0 -1\r\n", Expect::ClientRecoverable, "negative byte count"),
+        (b"set k 0 0\r\n", Expect::ClientRecoverable, "missing byte count"),
+        (b"set k 0\r\n", Expect::ClientRecoverable, "missing exptime and bytes"),
+        (b"set k 99999999999 0 1\r\nx\r\n", Expect::ClientRecoverable, "flags overflow u32"),
+        (
+            b"set k 0 0 18446744073709551617\r\n",
+            Expect::ClientRecoverable,
+            "bytes overflow u64",
+        ),
+        (b"set k 0 0 3 bogus\r\nabc\r\n", Expect::ClientRecoverable, "trailing garbage token"),
+        (
+            b"set k 0 0 3 noreply extra\r\nabc\r\n",
+            Expect::ClientRecoverable,
+            "token after noreply",
+        ),
+        (b"set k 0 0 3\r\nabcdefgh\r\n", Expect::ClientRecoverable, "data longer than declared"),
+        (b"set k 0 0 5\r\nab\rxy*junk", Expect::ClientRecoverable, "unterminated data block"),
+        (b"delete\r\n", Expect::ClientRecoverable, "delete without key"),
+        (b"delete k bogus\r\n", Expect::ClientRecoverable, "bad delete flag"),
+        (b"delete k noreply extra\r\n", Expect::ClientRecoverable, "extra delete token"),
+        (huge_decl.as_bytes(), Expect::Close, "value above MAX_VALUE_SIZE"),
+        (&unterminated, Expect::Close, "unterminated over-long line"),
+    ];
+    for (input, expect, what) in corpus {
+        let Parsed::Err(e) = parse(input) else {
+            panic!("{what}: expected an error, got {:?}", parse(input));
+        };
+        match expect {
+            Expect::Unknown => {
+                assert_eq!(e.kind, ErrorKind::UnknownCommand, "{what}");
+                assert!(e.recover_by.is_some(), "{what}: ERROR must not close");
+            }
+            Expect::ClientRecoverable => {
+                assert_eq!(e.kind, ErrorKind::Client, "{what}");
+                let n = e.recover_by.unwrap_or_else(|| panic!("{what}: must resynchronize"));
+                assert!(n > 0 && n <= input.len(), "{what}: recover_by {n}");
+            }
+            Expect::Close => {
+                assert_eq!(e.kind, ErrorKind::Client, "{what}");
+                assert_eq!(e.recover_by, None, "{what}: must close the connection");
+            }
+        }
+        // The error line itself must encode without panicking.
+        let mut out = Vec::new();
+        e.encode(&mut out);
+        assert!(out.ends_with(b"\r\n"), "{what}");
+    }
+}
+
+/// Splitting any corpus entry at every byte boundary must still never
+/// panic — errors may only surface once the offending line is complete.
+#[test]
+fn malformed_prefixes_never_panic() {
+    let inputs: &[&[u8]] = &[
+        b"set k 0 0 abc\r\nxxxxx\r\n",
+        b"get k\x7fey\r\n",
+        b"\xff\xfe\r\n",
+        b"set k 0 0 5\r\nab\rxy*junk",
+    ];
+    for input in inputs {
+        for cut in 0..=input.len() {
+            let _ = parse(&input[..cut]);
+        }
+    }
+}

@@ -23,6 +23,19 @@ pub struct LatencyHistogram {
     max: AtomicU64,
 }
 
+impl std::fmt::Debug for LatencyHistogram {
+    /// Summary statistics, not the raw buckets.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.len())
+            .field("mean_ns", &self.mean())
+            .field("p50_ns", &self.percentile(50.0))
+            .field("p99_ns", &self.percentile(99.0))
+            .field("max_ns", &self.max())
+            .finish()
+    }
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {

@@ -13,6 +13,8 @@
 //!   load-factor-window timing (per-thread key streams, lazily aggregated
 //!   progress counters — principle P1).
 //! - [`keygen`] — deterministic per-thread SplitMix64 key streams.
+//! - [`net`] — TCP client driver (connection pool + pipelined memcached
+//!   ASCII requests) for benchmarking the `cuckood` server end to end.
 //! - [`report`] — plain-text table and CSV rendering for the figure
 //!   benches.
 
@@ -20,6 +22,7 @@ pub mod adapter;
 pub mod driver;
 pub mod keygen;
 pub mod latency;
+pub mod net;
 pub mod report;
 pub mod zipf;
 

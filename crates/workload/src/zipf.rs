@@ -17,7 +17,6 @@ pub struct Zipf {
     /// Precomputed integral terms.
     h_x1: f64,
     h_n: f64,
-    inv_s: f64,
 }
 
 impl Zipf {
@@ -38,7 +37,6 @@ impl Zipf {
             s,
             h_x1: h(1.5) - 1.0,
             h_n: h(n + 0.5),
-            inv_s: 1.0 / s,
         }
     }
 

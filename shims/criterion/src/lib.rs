@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of criterion's API the benches use: [`Criterion`],
+//! `benchmark_group`, `bench_function`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark does a calibration pass to pick an
+//! iteration batch, a warmup (default 100 ms), then timed batches for the
+//! measurement window (default 300 ms) and reports mean ns/iter plus the
+//! fastest batch. No outlier analysis, no HTML reports. Knobs:
+//! `CRITERION_WARMUP_MS`, `CRITERION_MEASURE_MS`.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` as with the real
+/// crate.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; only a sizing hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// (total_ns, iters, fastest_batch_ns_per_iter)
+    result: Option<(u128, u64, f64)>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher { warmup, measure, result: None }
+    }
+
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit ~1 ms?
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el > Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+        let mut total_ns = 0u128;
+        let mut iters = 0u64;
+        let mut fastest = f64::INFINITY;
+        let end = Instant::now() + self.measure;
+        while Instant::now() < end {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos();
+            total_ns += ns;
+            iters += batch;
+            let per = ns as f64 / batch as f64;
+            if per < fastest {
+                fastest = per;
+            }
+        }
+        self.result = Some((total_ns, iters.max(1), fastest));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total_ns = 0u128;
+        let mut iters = 0u64;
+        let mut fastest = f64::INFINITY;
+        let end = Instant::now() + self.measure;
+        while Instant::now() < end {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            let ns = t.elapsed().as_nanos();
+            black_box(out);
+            total_ns += ns;
+            iters += 1;
+            let per = ns as f64;
+            if per < fastest {
+                fastest = per;
+            }
+        }
+        self.result = Some((total_ns, iters.max(1), fastest));
+    }
+}
+
+/// Top-level driver; also returned by [`Criterion::benchmark_group`] so
+/// group benches read identically to ungrouped ones.
+pub struct Criterion {
+    group: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            group: None,
+            warmup: env_ms("CRITERION_WARMUP_MS", 100),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let label = match &self.group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        match b.result {
+            Some((total_ns, iters, fastest)) => {
+                let mean = total_ns as f64 / iters as f64;
+                println!("{label:<40} time: [{mean:>12.1} ns/iter]  fastest batch: {fastest:.1} ns/iter  ({iters} iters)");
+            }
+            None => println!("{label:<40} (no measurement recorded)"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let prev = self.parent.group.replace(self.name.clone());
+        self.parent.run_one(id, f);
+        self.parent.group = prev;
+        self
+    }
+
+    /// Compatibility no-ops for common group knobs.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

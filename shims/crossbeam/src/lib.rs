@@ -1,0 +1,36 @@
+//! Offline placeholder for the `crossbeam` crate.
+//!
+//! The container cannot reach crates.io, and no code in this workspace
+//! calls `crossbeam` — scoped concurrency uses `std::thread::scope`
+//! (stable since 1.63) and channels use `std::sync::mpsc`. The manifests
+//! keep the dependency edge so any future `crossbeam` usage fails loudly
+//! here rather than at the network layer.
+//!
+//! `thread::scope` is aliased to the std implementation so the most
+//! common crossbeam idiom compiles unchanged.
+
+pub mod thread {
+    /// `crossbeam::thread::scope` compatibility: forwards to
+    /// `std::thread::scope`, wrapping the result in `Ok` to match
+    /// crossbeam's `Result`-returning signature.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_works() {
+        let mut x = 0;
+        super::thread::scope(|s| {
+            s.spawn(|| 1);
+            x = 1;
+        })
+        .unwrap();
+        assert_eq!(x, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! The container cannot reach crates.io, and no code in this workspace
+//! calls `rand` — randomized tests and drivers use the in-tree
+//! `workload::keygen::SplitMix64` (deterministic, seedable) instead. The
+//! manifests keep the dependency edge so any future `rand` usage fails
+//! loudly here rather than at the network layer; extend this shim (or
+//! switch the caller to `SplitMix64`) if that happens.
+
+/// A minimal deterministic generator, provided so quick experiments have
+/// something to reach for. This is SplitMix64, not a CSPRNG.
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn deterministic() {
+        let mut a = super::SmallRng::seed_from_u64(7);
+        let mut b = super::SmallRng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

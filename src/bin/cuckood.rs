@@ -1,0 +1,12 @@
+//! The `cuckood` binary: `cargo run --release --bin cuckood -- [OPTIONS]`.
+//!
+//! Thin wrapper so the binary lives in the workspace root package (where
+//! `cargo run --bin cuckood` finds it); everything real is in
+//! `crates/server`.
+
+fn main() {
+    if let Err(msg) = server::run_cli(std::env::args().skip(1)) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

@@ -119,32 +119,52 @@ fn conflict_storm_drives_fallback_not_corruption() {
     let p: *mut u64 = &mut counter;
     let addr = p as usize;
     let stop = AtomicBool::new(false);
+    let storming = AtomicBool::new(false);
     let stop = &stop;
+    let storming = &storming;
     let lock = &lock;
     let domain = &domain;
     let p = SendPtr(p);
+    let mut increments = 0u64;
     std::thread::scope(|s| {
         // Storm: bump the counter's cache line version continuously.
         s.spawn(move || {
             while !stop.load(Ordering::Acquire) {
                 domain.invalidate_line(addr);
+                storming.store(true, Ordering::Release);
             }
         });
-        s.spawn(move || {
-            let p = p;
-            for _ in 0..2_000 {
-                lock.execute(|ctx| {
-                    use cuckoo_repro::htm::MemCtx;
-                    // SAFETY: `counter` outlives the scope; coordinated
-                    // by the elided lock.
-                    let v = unsafe { ctx.load(p.0)? };
-                    unsafe { ctx.store(p.0, v + 1) }
-                });
+        // Worker: don't start until the storm is live, and keep
+        // transacting until the storm has demonstrably forced both a
+        // conflict abort and a fallback (a fixed iteration count races
+        // the scheduler: the worker can finish before the storm thread
+        // ever runs). The deadline keeps a broken implementation from
+        // hanging the test instead of failing it.
+        while !storming.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            lock.execute(|ctx| {
+                use cuckoo_repro::htm::MemCtx;
+                // SAFETY: `counter` outlives the scope; coordinated
+                // by the elided lock.
+                let v = unsafe { ctx.load(p.0)? };
+                unsafe { ctx.store(p.0, v + 1) }
+            });
+            increments += 1;
+            if increments >= 2_000 {
+                let s = lock.stats().snapshot();
+                if (s.conflict_aborts > 0 && s.fallbacks > 0)
+                    || std::time::Instant::now() > deadline
+                {
+                    break;
+                }
             }
-            stop.store(true, Ordering::Release);
-        });
+        }
+        stop.store(true, Ordering::Release);
     });
-    assert_eq!(counter, 2_000, "increments survived the conflict storm");
+    assert_eq!(counter, increments, "increments survived the conflict storm");
     let stats = lock.stats().snapshot();
     assert!(
         stats.conflict_aborts > 0,

@@ -9,6 +9,7 @@ use cuckoo_repro::cuckoo::search::SearchScratch;
 use cuckoo_repro::cuckoo::{CuckooMap, OptimisticCuckooMap};
 use cuckoo_repro::htm::HtmDomain;
 use proptest::prelude::*;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 proptest! {
@@ -47,10 +48,13 @@ proptest! {
             let k = k as u64;
             if insert {
                 let r = m.insert(k, k * 2);
-                if model.contains_key(&k) {
-                    prop_assert!(r.is_err());
-                } else if r.is_ok() {
-                    model.insert(k, k * 2);
+                match model.entry(k) {
+                    Entry::Occupied(_) => prop_assert!(r.is_err()),
+                    Entry::Vacant(e) => {
+                        if r.is_ok() {
+                            e.insert(k * 2);
+                        }
+                    }
                 }
             } else {
                 let removed = m.remove(&k);
@@ -72,11 +76,12 @@ proptest! {
             let key = format!("k{k}");
             if insert {
                 let r = m.insert(key.clone(), k as u32);
-                if model.contains_key(&key) {
-                    prop_assert!(r.is_err());
-                } else {
-                    prop_assert!(r.is_ok());
-                    model.insert(key, k as u32);
+                match model.entry(key) {
+                    Entry::Occupied(_) => prop_assert!(r.is_err()),
+                    Entry::Vacant(e) => {
+                        prop_assert!(r.is_ok());
+                        e.insert(k as u32);
+                    }
                 }
             } else {
                 prop_assert_eq!(m.remove(&key).is_some(), model.remove(&key).is_some());

@@ -1,0 +1,172 @@
+//! End-to-end smoke test for `cuckood`: a real server on an ephemeral
+//! loopback port, real TCP clients, concurrent traffic, graceful
+//! shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A small blocking client speaking the memcached text protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        line.trim_end().to_string()
+    }
+
+    fn set(&mut self, key: &str, value: &[u8]) {
+        write!(self.writer, "set {} 0 0 {}\r\n", key, value.len()).unwrap();
+        self.writer.write_all(value).unwrap();
+        self.writer.write_all(b"\r\n").unwrap();
+        assert_eq!(self.line(), "STORED", "set {key}");
+    }
+
+    /// Returns the value, or `None` on a miss.
+    fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        write!(self.writer, "get {}\r\n", key).unwrap();
+        let header = self.line();
+        if header == "END" {
+            return None;
+        }
+        let mut parts = header.split(' ');
+        assert_eq!(parts.next(), Some("VALUE"), "header {header:?}");
+        assert_eq!(parts.next(), Some(key));
+        let _flags = parts.next().unwrap();
+        let n: usize = parts.next().unwrap().parse().unwrap();
+        let mut data = vec![0u8; n + 2];
+        self.reader.read_exact(&mut data).unwrap();
+        data.truncate(n);
+        assert_eq!(self.line(), "END");
+        Some(data)
+    }
+
+    fn delete(&mut self, key: &str) -> bool {
+        write!(self.writer, "delete {}\r\n", key).unwrap();
+        match self.line().as_str() {
+            "DELETED" => true,
+            "NOT_FOUND" => false,
+            other => panic!("unexpected delete reply {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_set_get_delete_and_drain() {
+    let handle = server::spawn(server::Config {
+        port: 0,
+        capacity: 1 << 16,
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("spawn");
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 6;
+    const KEYS_PER_CLIENT: usize = 200;
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                let mut client = Client::connect(addr);
+                // Distinct per-client keyspace: no cross-client races on
+                // individual keys, full contention on the shared table.
+                for i in 0..KEYS_PER_CLIENT {
+                    let key = format!("c{c}k{i}");
+                    let value = format!("value-{c}-{i}").into_bytes();
+                    client.set(&key, &value);
+                }
+                for i in 0..KEYS_PER_CLIENT {
+                    let key = format!("c{c}k{i}");
+                    let expect = format!("value-{c}-{i}").into_bytes();
+                    assert_eq!(client.get(&key), Some(expect), "{key}");
+                }
+                // Delete the odd half; verify both halves behave.
+                for i in (1..KEYS_PER_CLIENT).step_by(2) {
+                    assert!(client.delete(&format!("c{c}k{i}")));
+                }
+                for i in 0..KEYS_PER_CLIENT {
+                    let key = format!("c{c}k{i}");
+                    let got = client.get(&key);
+                    if i % 2 == 1 {
+                        assert_eq!(got, None, "{key} should be deleted");
+                    } else {
+                        assert!(got.is_some(), "{key} should survive");
+                    }
+                }
+                // Deleting again reports NOT_FOUND, not an error.
+                assert!(!client.delete(&format!("c{c}k1")));
+            });
+        }
+    });
+
+    // A fresh connection still sees the surviving keys (shared store,
+    // not per-connection state).
+    let mut checker = Client::connect(addr);
+    assert_eq!(
+        checker.get("c0k0"),
+        Some(b"value-0-0".to_vec()),
+        "data visible across connections"
+    );
+
+    // stats reflects the traffic.
+    write!(checker.writer, "stats\r\n").unwrap();
+    let mut saw_get_hits = false;
+    loop {
+        let line = checker.line();
+        if line == "END" {
+            break;
+        }
+        assert!(line.starts_with("STAT "), "stats line {line:?}");
+        if let Some(rest) = line.strip_prefix("STAT cmd_get ") {
+            let n: u64 = rest.parse().unwrap();
+            assert!(n >= (CLIENTS * KEYS_PER_CLIENT) as u64, "cmd_get {n}");
+        }
+        if let Some(rest) = line.strip_prefix("STAT get_hits ") {
+            saw_get_hits = true;
+            assert!(rest.parse::<u64>().unwrap() > 0);
+        }
+    }
+    assert!(saw_get_hits, "stats must include get_hits");
+
+    // version answers; quit closes cleanly.
+    write!(checker.writer, "version\r\n").unwrap();
+    assert!(checker.line().starts_with("VERSION "));
+    write!(checker.writer, "quit\r\n").unwrap();
+    let mut rest = Vec::new();
+    checker.reader.read_to_end(&mut rest).expect("clean close after quit");
+    assert!(rest.is_empty(), "no bytes after quit");
+
+    // Graceful shutdown: joins every worker; afterwards the port refuses
+    // new work (accept thread is gone).
+    handle.shutdown();
+}
+
+#[test]
+fn no_evict_mode_serves_large_values() {
+    let handle = server::spawn(server::Config {
+        port: 0,
+        capacity: 1 << 12,
+        workers: 1,
+        no_evict: true,
+        ..Default::default()
+    })
+    .expect("spawn");
+    let mut client = Client::connect(handle.local_addr());
+    // Far beyond the clock engine's inline-entry limit.
+    let big = vec![b'x'; 64 * 1024];
+    client.set("big", &big);
+    assert_eq!(client.get("big"), Some(big));
+    handle.shutdown();
+}
