@@ -62,7 +62,7 @@ pub use elided::ElidedCuckooMap;
 pub use error::{InsertError, UpsertOutcome};
 pub use hash::{DefaultHashBuilder, FxHasher64, RandomState, SipHashBuilder, SipHasher13};
 pub use htm::Plain;
-pub use map::CuckooMap;
+pub use map::{CuckooMap, ResizeMode};
 pub use memc3::{MemC3Config, MemC3Cuckoo, SearchKind, WriterLockKind};
 pub use optimistic::OptimisticCuckooMap;
 pub use stats::{PathStats, PathStatsSnapshot};

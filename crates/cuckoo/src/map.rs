@@ -19,10 +19,23 @@
 //!   only atomic metadata (occupancy bitmaps and tags), never keys — with
 //!   per-displacement pair-locked validated execution, exactly like
 //!   `cuckoo+`;
-//! - **automatic expansion**: when a path search fails, the table doubles
-//!   under the full-stripe lock and rehashes. Retired bucket arrays are
-//!   kept until drop so in-flight lock-free searches never dereference
-//!   freed memory (their stale paths simply fail validation).
+//! - **incremental expansion** (default): when a path search fails, a
+//!   doubled table is allocated and buckets migrate in fixed-size chunks
+//!   under their stripe locks only. Writers help-migrate the chunks
+//!   covering their own candidate buckets before operating (and sweep one
+//!   extra chunk so the tail completes); readers route through a
+//!   two-table lookup gated by per-chunk migration watermarks and never
+//!   block on migration. No operation ever stalls for a whole-table
+//!   rehash. [`ResizeMode::StopTheWorld`] keeps the old behavior — the
+//!   table doubles under the full-stripe lock — as a baseline and
+//!   fallback.
+//! - **quiescence-based reclamation**: retired bucket arrays go to a
+//!   graveyard stamped with an epoch from a striped
+//!   [`EpochRegistry`]; they are freed once every in-flight operation
+//!   pinned before the retirement has finished, so in-flight lock-free
+//!   searches never dereference freed memory (their stale paths simply
+//!   fail validation) and long-running processes no longer leak one
+//!   table per doubling.
 
 use crate::counter::ShardedCounter;
 use crate::error::{InsertError, UpsertOutcome};
@@ -30,11 +43,108 @@ use crate::hash::DefaultHashBuilder;
 use crate::hashing::{key_slots, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, PathEntry};
-use crate::sync::{LockStripes, DEFAULT_STRIPES};
+use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How [`CuckooMap`] grows when a path search fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeMode {
+    /// Chunked, cooperative migration: operations keep running against an
+    /// old/new table pair while buckets move a chunk at a time. The
+    /// default.
+    Incremental,
+    /// The classic behavior: take every stripe lock and rehash the whole
+    /// table in one multi-millisecond critical section. Kept as the
+    /// measurable baseline for the `resize_latency` bench.
+    StopTheWorld,
+}
+
+/// Buckets migrated per claimed chunk. Bounds the pause any single
+/// operation can absorb while helping: one chunk is at most
+/// `MIGRATION_CHUNK * B` entry moves, each under briefly-held stripe
+/// locks. Kept small — a write that lands on a not-yet-migrated bucket
+/// must drive that bucket's chunk to DONE before it can proceed, so the
+/// chunk *is* the write-latency tax during an expansion; at 4 buckets
+/// (≤32 entries, single-digit microseconds) the tax stays well under
+/// typical arrival gaps, while a near-full doubling still finishes
+/// within a few thousand writes.
+const MIGRATION_CHUNK: usize = 4;
+
+/// One in this many writes (that land during a migration) volunteers to
+/// sweep an extra chunk beyond its own mandatory ones. See
+/// [`CuckooMap::writer_table`].
+const HELP_SWEEP_INTERVAL: u64 = 8;
+
+/// Soft bound on retired allocations parked in the graveyard before a
+/// retire forces a drain attempt. Purely advisory: entries still pinned
+/// by in-flight operations survive the drain regardless.
+const GRAVEYARD_SOFT_CAP: usize = 4;
+
+/// Chunk watermark states: `PENDING → BUSY → DONE`, monotonic.
+const CHUNK_PENDING: u8 = 0;
+const CHUNK_BUSY: u8 = 1;
+const CHUNK_DONE: u8 = 2;
+
+/// Shared descriptor of one in-flight incremental expansion.
+///
+/// `storage` keeps pointing at `old` until the last chunk completes, so
+/// a thread that observed no migration still reads a coherent (if
+/// stale) table pointer; every path re-validates under its stripe locks.
+struct Migration<K, V, const B: usize> {
+    /// The table being drained (== `storage` until finalization).
+    old: *mut RawTable<K, V, B>,
+    /// The doubled table being filled.
+    new: *mut RawTable<K, V, B>,
+    /// Per-chunk watermark; index = old bucket index / [`MIGRATION_CHUNK`].
+    chunk_states: Box<[AtomicU8]>,
+    /// Number of chunks in state `DONE`; the thread that completes the
+    /// last one finalizes the migration.
+    chunks_done: AtomicUsize,
+    /// Rotating start point for cooperative sweeps, so helpers spread out
+    /// instead of contending on the same chunk.
+    next_hint: AtomicUsize,
+}
+
+impl<K, V, const B: usize> Migration<K, V, B> {
+    fn n_chunks(&self) -> usize {
+        self.chunk_states.len()
+    }
+
+    #[inline]
+    fn chunk_of(bucket: usize) -> usize {
+        bucket / MIGRATION_CHUNK
+    }
+
+    #[inline]
+    fn chunk_done(&self, chunk: usize) -> bool {
+        self.chunk_states[chunk].load(Ordering::Acquire) == CHUNK_DONE
+    }
+}
+
+/// A retired allocation awaiting quiescence.
+enum RetiredAlloc<K, V, const B: usize> {
+    Table(Box<RawTable<K, V, B>>),
+    Desc(Box<Migration<K, V, B>>),
+}
+
+struct Retired<K, V, const B: usize> {
+    /// Epoch stamped at retirement; freeable once
+    /// `EpochRegistry::min_active()` exceeds it.
+    epoch: u64,
+    alloc: RetiredAlloc<K, V, B>,
+}
+
+impl<K, V, const B: usize> Retired<K, V, B> {
+    fn memory_bytes(&self) -> usize {
+        match &self.alloc {
+            RetiredAlloc::Table(t) => t.memory_bytes(),
+            RetiredAlloc::Desc(d) => d.chunk_states.len(),
+        }
+    }
+}
 
 /// A dynamically-resizing concurrent cuckoo map for arbitrary key/value
 /// types (locked reads).
@@ -56,18 +166,31 @@ use std::sync::Mutex;
 /// # Ok::<(), cuckoo::InsertError>(())
 /// ```
 pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
-    /// Current bucket array. Swapped (under all stripes) on expansion.
+    /// Current bucket array. During an incremental migration this stays
+    /// the *old* table until the last chunk completes; swapped under
+    /// `resize_lock` (plus all stripes in the stop-the-world paths).
     storage: AtomicPtr<RawTable<K, V, B>>,
+    /// In-flight incremental expansion, or null. Transitions
+    /// null → descriptor (begin) → null (finalize/emergency), all
+    /// serialized by `resize_lock`.
+    migration: AtomicPtr<Migration<K, V, B>>,
+    /// Serializes begin/finalize/emergency so exactly one resolution of
+    /// each migration wins. Always acquired *before* any stripe lock.
+    resize_lock: Mutex<()>,
+    resize_mode: ResizeMode,
     stripes: LockStripes,
     hash_builder: S,
     count: ShardedCounter,
     max_search_slots: usize,
-    /// Retired bucket arrays, kept so unlocked searchers racing an
-    /// expansion read live (if stale) memory. The boxes are load-bearing:
-    /// raced pointers into a retired table must stay stable when the
-    /// graveyard vector reallocates.
-    #[allow(clippy::vec_box)]
-    graveyard: Mutex<Vec<Box<RawTable<K, V, B>>>>,
+    /// Tracks in-flight operations so retired allocations are freed only
+    /// after every operation that could hold their pointer has finished.
+    epochs: EpochRegistry,
+    /// Retired allocations awaiting quiescence. Boxed so raced pointers
+    /// into a retired table stay stable when the vector reallocates.
+    graveyard: Mutex<Vec<Retired<K, V, B>>>,
+    /// Write counter sampling which migration-era writes volunteer an
+    /// extra chunk sweep (see [`HELP_SWEEP_INTERVAL`]).
+    help_tick: AtomicU64,
 }
 
 // SAFETY: the map owns its entries (moving the map moves them) and
@@ -98,6 +221,14 @@ where
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
+
+    /// Creates a map with an explicit [`ResizeMode`] (the default is
+    /// [`ResizeMode::Incremental`]).
+    pub fn with_capacity_and_mode(capacity: usize, mode: ResizeMode) -> Self {
+        let mut map = Self::with_capacity(capacity);
+        map.resize_mode = mode;
+        map
+    }
 }
 
 impl<K, V, const B: usize> Default for CuckooMap<K, V, B, DefaultHashBuilder>
@@ -119,39 +250,126 @@ where
         let raw = Box::new(RawTable::with_capacity(capacity));
         CuckooMap {
             storage: AtomicPtr::new(Box::into_raw(raw)),
+            migration: AtomicPtr::new(std::ptr::null_mut()),
+            resize_lock: Mutex::new(()),
+            resize_mode: ResizeMode::Incremental,
             stripes: LockStripes::new(DEFAULT_STRIPES),
             hash_builder: hasher,
             count: ShardedCounter::new(),
             max_search_slots: DEFAULT_MAX_SEARCH_SLOTS,
+            epochs: EpochRegistry::new(),
             graveyard: Mutex::new(Vec::new()),
+            help_tick: AtomicU64::new(0),
         }
+    }
+
+    /// How this map resizes.
+    pub fn resize_mode(&self) -> ResizeMode {
+        self.resize_mode
+    }
+
+    /// Whether an incremental expansion is currently in flight.
+    pub fn is_migrating(&self) -> bool {
+        !self.migration.load(Ordering::SeqCst).is_null()
     }
 
     /// The current bucket array.
     ///
-    /// The reference is valid for `'_` (the borrow of `self`): bucket
-    /// arrays are only retired to the graveyard, never freed before the
-    /// map itself drops.
+    /// The reference is only guaranteed live while the caller holds an
+    /// epoch pin (every public operation takes one): retired arrays are
+    /// freed once the registry proves no pinned operation can still hold
+    /// them.
     #[inline]
     fn current(&self) -> &RawTable<K, V, B> {
-        // SAFETY: the pointer is always a live allocation per the
-        // graveyard discipline documented above.
-        unsafe { &*self.storage.load(Ordering::Acquire) }
+        // SAFETY: callers hold an epoch pin (or `&mut self`), so the
+        // loaded pointer cannot be reclaimed while in use.
+        unsafe { &*self.storage.load(Ordering::SeqCst) }
     }
 
     #[inline]
     fn is_current(&self, raw: &RawTable<K, V, B>) -> bool {
-        std::ptr::eq(self.storage.load(Ordering::Acquire), raw)
+        std::ptr::eq(self.storage.load(Ordering::SeqCst), raw)
+    }
+
+    /// Normal-path validation, checked *inside* the stripe locks: `raw`
+    /// is still the live table and no migration has begun. The second
+    /// clause is load-bearing — once a migration starts, buckets drain
+    /// old → new, and a write landing in an already-migrated old bucket
+    /// (or a read trusting one) would be lost.
+    #[inline]
+    fn table_is_stable(&self, raw: &RawTable<K, V, B>) -> bool {
+        self.is_current(raw) && self.migration.load(Ordering::SeqCst).is_null()
+    }
+
+    /// Migration-path validation, checked inside the stripe locks on the
+    /// *new* table: the migration `m` is still in flight, or it finalized
+    /// and `m`'s new table became current (operating on it is then just a
+    /// normal-path operation). A different live migration or an emergency
+    /// rebuild invalidates the caller's view.
+    ///
+    /// # Safety
+    ///
+    /// `m` must be a descriptor the caller observed while pinned.
+    #[inline]
+    fn migration_still_targets(&self, m: *mut Migration<K, V, B>) -> bool {
+        let cur = self.migration.load(Ordering::SeqCst);
+        if cur == m {
+            return true;
+        }
+        if !cur.is_null() {
+            return false;
+        }
+        // SAFETY: caller is pinned and observed `m` live, so the
+        // descriptor is at worst retired-but-not-freed.
+        let mig = unsafe { &*m };
+        self.storage.load(Ordering::SeqCst) == mig.new
     }
 
     /// Looks up `key`, applying `f` to the value under the lock.
+    ///
+    /// Readers never help (or wait for) a migration: during one they
+    /// check the old table, then the new — correct because entries only
+    /// ever move old → new, atomically under both tables' stripe locks.
     pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let _pin = self.epochs.pin();
         loop {
+            let m = self.migration.load(Ordering::SeqCst);
+            if !m.is_null() {
+                // SAFETY: pinned; the descriptor and both tables outlive
+                // this operation even if the migration resolves.
+                let mig = unsafe { &*m };
+                let old = unsafe { &*mig.old };
+                let new = unsafe { &*mig.new };
+                let ks_old = key_slots(&self.hash_builder, key, old.mask());
+                let both_done = mig.chunk_done(Migration::<K, V, B>::chunk_of(ks_old.i1))
+                    && mig.chunk_done(Migration::<K, V, B>::chunk_of(ks_old.i2));
+                if !both_done {
+                    let _g = self.stripes.lock_pair(ks_old.i1, ks_old.i2);
+                    if self.migration.load(Ordering::SeqCst) != m {
+                        continue; // emergency rebuild resolved it; retry
+                    }
+                    if let Some((bi, s)) = Self::locked_find(old, ks_old, key) {
+                        // SAFETY: pair lock held; chunk movers need these
+                        // stripes too, so the slot is stable.
+                        return Some(f(unsafe { &*old.bucket(bi).val_ptr(s) }));
+                    }
+                    // Miss in old: the entry is in new or absent, and can
+                    // never move back, so checking new second is sound.
+                }
+                let ks = key_slots(&self.hash_builder, key, new.mask());
+                let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.migration_still_targets(m) {
+                    continue;
+                }
+                return Self::locked_find(new, ks, key)
+                    // SAFETY: pair lock held; the slot is occupied.
+                    .map(|(bi, s)| f(unsafe { &*new.bucket(bi).val_ptr(s) }));
+            }
             let raw = self.current();
             let ks = key_slots(&self.hash_builder, key, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
-            if !self.is_current(raw) {
-                continue; // expanded while we were locking
+            if !self.table_is_stable(raw) {
+                continue; // expanded or migration began while locking
             }
             return Self::locked_find(raw, ks, key)
                 // SAFETY: pair lock held; the slot is occupied.
@@ -192,11 +410,28 @@ where
 
     /// Removes `key`, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
+        let _pin = self.epochs.pin();
         loop {
+            if let Some((new, m)) = self.writer_table(key) {
+                let ks = key_slots(&self.hash_builder, key, new.mask());
+                let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.migration_still_targets(m) {
+                    continue;
+                }
+                return match Self::locked_find(new, ks, key) {
+                    Some((bi, s)) => {
+                        // SAFETY: pair lock held; slot occupied.
+                        let (_, v) = unsafe { new.take_entry(bi, s) };
+                        self.count.add(bi, -1);
+                        Some(v)
+                    }
+                    None => None,
+                };
+            }
             let raw = self.current();
             let ks = key_slots(&self.hash_builder, key, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
-            if !self.is_current(raw) {
+            if !self.table_is_stable(raw) {
                 continue;
             }
             return match Self::locked_find(raw, ks, key) {
@@ -213,11 +448,27 @@ where
 
     /// Replaces the value of an existing key, returning the old value.
     pub fn update(&self, key: &K, val: V) -> Option<V> {
+        let _pin = self.epochs.pin();
         loop {
+            if let Some((new, m)) = self.writer_table(key) {
+                let ks = key_slots(&self.hash_builder, key, new.mask());
+                let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.migration_still_targets(m) {
+                    continue;
+                }
+                return match Self::locked_find(new, ks, key) {
+                    // SAFETY: pair lock held; slot occupied.
+                    Some((bi, s)) => Some(std::mem::replace(
+                        unsafe { &mut *new.bucket(bi).val_ptr(s) },
+                        val,
+                    )),
+                    None => None,
+                };
+            }
             let raw = self.current();
             let ks = key_slots(&self.hash_builder, key, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
-            if !self.is_current(raw) {
+            if !self.table_is_stable(raw) {
                 continue;
             }
             return match Self::locked_find(raw, ks, key) {
@@ -231,6 +482,42 @@ where
                 None => None,
             };
         }
+    }
+
+    /// Writer-side migration checkpoint: when a migration is in flight,
+    /// migrates (or waits for) the chunks covering `key`'s old-table
+    /// buckets, occasionally sweeps one extra chunk so the tail
+    /// completes without a dedicated thread, and returns the *new*
+    /// table to operate on.
+    ///
+    /// `None` means no migration is in flight (operate on `current()`),
+    /// or the observed migration resolved mid-checkpoint (the caller's
+    /// loop re-reads state either way).
+    #[allow(clippy::type_complexity)]
+    fn writer_table(&self, key: &K) -> Option<(&RawTable<K, V, B>, *mut Migration<K, V, B>)> {
+        let m = self.migration.load(Ordering::SeqCst);
+        if m.is_null() {
+            return None;
+        }
+        // SAFETY: caller is pinned; descriptor and tables stay live.
+        let mig = unsafe { &*m };
+        let old = unsafe { &*mig.old };
+        let ks_old = key_slots(&self.hash_builder, key, old.mask());
+        if !self.ensure_chunks_done(mig, m, ks_old.i1, ks_old.i2) {
+            return None;
+        }
+        // Voluntary helping is throttled: the mandatory own-chunk work
+        // above already guarantees every write lands in the new table,
+        // and random keys cover the chunk space on their own. Sweeping
+        // on every write would put a whole extra chunk move on every
+        // write's latency; sweeping on a sampled subset keeps the
+        // common write at its baseline cost while still pushing the
+        // migration tail (cold chunks no write happens to cover) to
+        // completion even without a background sweeper.
+        if self.help_tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(HELP_SWEEP_INTERVAL) {
+            self.help_sweep(mig, m, 1);
+        }
+        Some((unsafe { &*mig.new }, m))
     }
 
     /// Number of items.
@@ -253,37 +540,84 @@ where
         self.len() as f64 / self.capacity() as f64
     }
 
-    /// Bytes used by the live bucket array, stripes, counters, and any
-    /// retired arrays still parked in the graveyard.
+    /// Bytes used by the live bucket array, stripes, counters, epoch
+    /// registry, any in-flight migration target, and any retired
+    /// allocations still parked in the graveyard.
     pub fn memory_bytes(&self) -> usize {
+        let _pin = self.epochs.pin();
         let graveyard: usize = self
             .graveyard
             .lock()
             .unwrap()
             .iter()
-            .map(|t| t.memory_bytes())
+            .map(|r| r.memory_bytes())
             .sum();
-        self.current().memory_bytes()
+        let mut total = self.current().memory_bytes()
             + self.stripes.memory_bytes()
             + self.count.memory_bytes()
-            + graveyard
+            + self.epochs.memory_bytes()
+            + graveyard;
+        let m = self.migration.load(Ordering::SeqCst);
+        if !m.is_null() {
+            // SAFETY: pinned; descriptor and its new table are live.
+            let mig = unsafe { &*m };
+            total += unsafe { &*mig.new }.memory_bytes() + mig.chunk_states.len();
+        }
+        total
     }
 
-    /// Frees retired bucket arrays. Callers must guarantee no concurrent
-    /// operations are in flight (hence `&mut self`).
+    /// Frees retired allocations unconditionally. Callers must guarantee
+    /// no concurrent operations are in flight (hence `&mut self`).
     pub fn purge_retired(&mut self) {
         self.graveyard.get_mut().unwrap().clear();
     }
 
     /// Visits every entry under the full-table lock.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
-        let _g = self.stripes.lock_all();
+        let _pin = self.epochs.pin();
+        let _g = self.lock_all_quiesced();
         let raw = self.current();
         for (bi, s) in raw.occupied_coords() {
             let b = raw.bucket(bi);
             // SAFETY: all stripes held; slots stable and occupied.
             unsafe { f(&*b.key_ptr(s), &*b.val_ptr(s)) };
         }
+    }
+
+    /// Acquires every stripe with no migration in flight, so all entries
+    /// live in `current()`. A mid-flight migration is driven to
+    /// completion first (entries would otherwise be split across the
+    /// old/new pair); one that begins *after* we hold the stripes is
+    /// harmless — no chunk can migrate until the guard drops, so
+    /// `current()` still holds every entry.
+    fn lock_all_quiesced(&self) -> crate::sync::AllGuard<'_> {
+        loop {
+            while self.help_migrate(usize::MAX) {
+                std::thread::yield_now();
+            }
+            let g = self.stripes.lock_all();
+            if self.migration.load(Ordering::SeqCst).is_null() {
+                return g;
+            }
+            drop(g);
+        }
+    }
+
+    /// Claims and migrates up to `max_chunks` chunks of any in-flight
+    /// incremental expansion. Returns whether a migration was active —
+    /// so `while map.help_migrate(usize::MAX) {}` drives one to
+    /// completion. Intended for background sweeper threads (`cuckood`
+    /// runs one) so migrations finish even when writers go idle.
+    pub fn help_migrate(&self, max_chunks: usize) -> bool {
+        let _pin = self.epochs.pin();
+        let m = self.migration.load(Ordering::SeqCst);
+        if m.is_null() {
+            return false;
+        }
+        // SAFETY: pinned; the descriptor stays live.
+        let mig = unsafe { &*m };
+        self.help_sweep(mig, m, max_chunks);
+        true
     }
 
     /// Clones every entry out (snapshot).
@@ -298,14 +632,66 @@ where
     }
 
     fn insert_inner(&self, key: K, val: V, upsert: bool) -> Result<UpsertOutcome, InsertError> {
+        let _pin = self.epochs.pin();
         let mut stale_retries = 0usize;
         loop {
+            if let Some((new, m)) = self.writer_table(&key) {
+                // Migration in flight: our old-table chunks are drained,
+                // so the key (if present) and the insert target are both
+                // in the new table.
+                let ks = key_slots(&self.hash_builder, &key, new.mask());
+                {
+                    let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                    if !self.migration_still_targets(m) {
+                        continue;
+                    }
+                    if let Some((bi, s)) = Self::locked_find(new, ks, &key) {
+                        if upsert {
+                            // SAFETY: pair lock held; slot occupied.
+                            unsafe { *new.bucket(bi).val_ptr(s) = val };
+                            return Ok(UpsertOutcome::Updated);
+                        }
+                        return Err(InsertError::KeyExists);
+                    }
+                    if let Some((bi, slot)) = Self::locked_empty_slot(new, ks) {
+                        // SAFETY: pair lock held; slot empty.
+                        unsafe { new.write_entry(bi, slot, ks.tag, key, val) };
+                        self.count.add(bi, 1);
+                        return Ok(UpsertOutcome::Inserted);
+                    }
+                }
+                // Candidate pair full: displace within the new table.
+                let searched = search::with_scratch(|scratch| {
+                    bfs::search(new, ks.i1, ks.i2, self.max_search_slots, true, scratch)
+                        .map(|()| scratch.path.clone())
+                });
+                match searched {
+                    Err(_) => {
+                        // Even the doubled table is full: rebuild bigger
+                        // under the full-table lock (rare).
+                        self.emergency_rebuild(m);
+                    }
+                    Ok(path) => {
+                        if self.execute_path_on(new, &path, || self.migration_still_targets(m)) {
+                            stale_retries = 0;
+                        } else {
+                            stale_retries += 1;
+                            if stale_retries > 16 {
+                                self.emergency_rebuild(m);
+                                stale_retries = 0;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
             let raw = self.current();
             let ks = key_slots(&self.hash_builder, &key, raw.mask());
             // Fast path under the candidate pair lock.
             {
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
-                if !self.is_current(raw) {
+                if !self.table_is_stable(raw) {
                     continue;
                 }
                 if let Some((bi, s)) = Self::locked_find(raw, ks, &key) {
@@ -316,17 +702,7 @@ where
                     }
                     return Err(InsertError::KeyExists);
                 }
-                let mut target = None;
-                for bi in [ks.i1, ks.i2] {
-                    if let Some(slot) = raw.meta(bi).empty_slot() {
-                        target = Some((bi, slot));
-                        break;
-                    }
-                    if ks.i2 == ks.i1 {
-                        break;
-                    }
-                }
-                if let Some((bi, slot)) = target {
+                if let Some((bi, slot)) = Self::locked_empty_slot(raw, ks) {
                     // SAFETY: pair lock held; slot empty. Keys and values
                     // move by plain writes — readers are locked out,
                     // unlike the optimistic table.
@@ -344,24 +720,46 @@ where
             });
             match searched {
                 Err(_) => {
-                    self.expand(raw);
+                    self.grow(raw);
                     // Re-enter with the (possibly) new table.
                 }
                 Ok(path) => {
-                    if self.execute_path(raw, &path) {
+                    if self.execute_path_on(raw, &path, || self.table_is_stable(raw)) {
                         stale_retries = 0;
                     } else {
                         stale_retries += 1;
                         if stale_retries > 16 {
-                            // Livelock escape hatch: force an expansion,
-                            // which completes under the full-table lock.
-                            self.expand(raw);
+                            // Livelock escape hatch: force an expansion.
+                            self.grow(raw);
                             stale_retries = 0;
                         }
                     }
                 }
             }
             // `key`/`val` were not consumed this round; loop.
+        }
+    }
+
+    /// First empty slot in either candidate bucket; pair lock must be
+    /// held.
+    fn locked_empty_slot(raw: &RawTable<K, V, B>, ks: KeySlots) -> Option<(usize, usize)> {
+        for bi in [ks.i1, ks.i2] {
+            if let Some(slot) = raw.meta(bi).empty_slot() {
+                return Some((bi, slot));
+            }
+            if ks.i2 == ks.i1 {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Mode dispatch for a full table: begin an incremental migration or
+    /// fall back to the stop-the-world rehash.
+    fn grow(&self, seen: &RawTable<K, V, B>) {
+        match self.resize_mode {
+            ResizeMode::Incremental => self.begin_migration(seen),
+            ResizeMode::StopTheWorld => self.expand(seen),
         }
     }
 
@@ -388,9 +786,16 @@ where
     }
 
     /// Validated per-pair-locked path execution over `raw` (which must be
-    /// the table the path was discovered on; a concurrent expansion makes
-    /// every step fail validation or the current-table check).
-    fn execute_path(&self, raw: &RawTable<K, V, B>, path: &[PathEntry]) -> bool {
+    /// the table the path was discovered on). `valid` is re-checked
+    /// inside every pair lock: a concurrent expansion, migration start,
+    /// or emergency rebuild makes the step fail validation instead of
+    /// displacing entries in a table that is being drained.
+    fn execute_path_on(
+        &self,
+        raw: &RawTable<K, V, B>,
+        path: &[PathEntry],
+        valid: impl Fn() -> bool,
+    ) -> bool {
         if path.len() < 2 {
             return true;
         }
@@ -398,7 +803,7 @@ where
             let src = path[i];
             let dst = path[i + 1];
             let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
-            if !self.is_current(raw) {
+            if !valid() {
                 return false;
             }
             let sm = raw.meta(src.bucket);
@@ -420,14 +825,15 @@ where
     }
 
     /// Doubles the table under the full-stripe lock and rehashes every
-    /// entry. `seen` is the table the caller found full; if another thread
-    /// already expanded, this returns immediately.
+    /// entry — the stop-the-world fallback. `seen` is the table the
+    /// caller found full; if another thread already expanded, this
+    /// returns immediately.
     fn expand(&self, seen: &RawTable<K, V, B>) {
         let _g = self.stripes.lock_all();
         if !self.is_current(seen) {
             return; // someone else already expanded
         }
-        let old_ptr = self.storage.load(Ordering::Acquire);
+        let old_ptr = self.storage.load(Ordering::SeqCst);
         // SAFETY: all stripes held — exclusive access to the live table.
         let old = unsafe { &*old_ptr };
 
@@ -450,11 +856,359 @@ where
         };
         debug_assert!(entries.is_empty());
 
-        self.storage.store(Box::into_raw(new), Ordering::Release);
+        self.storage.store(Box::into_raw(new), Ordering::SeqCst);
         // SAFETY: `old_ptr` came from `Box::into_raw` at construction or a
         // previous expansion, and is no longer reachable as current.
         let retired = unsafe { Box::from_raw(old_ptr) };
-        self.graveyard.lock().unwrap().push(retired);
+        self.retire([RetiredAlloc::Table(retired)]);
+    }
+
+    /// Starts an incremental migration to a doubled table: allocates the
+    /// target and publishes the descriptor. No entries move here — chunks
+    /// migrate via [`CuckooMap::help_migrate`] and the per-operation
+    /// checkpoints. No-ops if a migration is already running or `seen` is
+    /// no longer current.
+    fn begin_migration(&self, seen: &RawTable<K, V, B>) {
+        self.try_drain_graveyard();
+        let _lk = self.resize_lock.lock().unwrap();
+        if !self.migration.load(Ordering::SeqCst).is_null() {
+            return; // a migration is already in flight
+        }
+        if !self.is_current(seen) {
+            return; // resolved by an expansion we raced with
+        }
+        let old_ptr = self.storage.load(Ordering::SeqCst);
+        // SAFETY: caller is pinned and `seen` is current.
+        let old = unsafe { &*old_ptr };
+        let new = Box::new(RawTable::<K, V, B>::with_capacity(old.total_slots() * 2));
+        debug_assert_eq!(new.n_buckets(), old.n_buckets() * 2);
+        let n_chunks = old.n_buckets().div_ceil(MIGRATION_CHUNK);
+        let desc = Box::new(Migration {
+            old: old_ptr,
+            new: Box::into_raw(new),
+            chunk_states: (0..n_chunks).map(|_| AtomicU8::new(CHUNK_PENDING)).collect(),
+            chunks_done: AtomicUsize::new(0),
+            next_hint: AtomicUsize::new(0),
+        });
+        self.migration.store(Box::into_raw(desc), Ordering::SeqCst);
+    }
+
+    /// Migrates (or waits out) the chunks covering old-table buckets
+    /// `b1`/`b2`. `false` means the migration resolved underneath us.
+    fn ensure_chunks_done(
+        &self,
+        mig: &Migration<K, V, B>,
+        m: *mut Migration<K, V, B>,
+        b1: usize,
+        b2: usize,
+    ) -> bool {
+        let c1 = Migration::<K, V, B>::chunk_of(b1);
+        let c2 = Migration::<K, V, B>::chunk_of(b2);
+        if !self.wait_chunk_done(mig, m, c1) {
+            return false;
+        }
+        c2 == c1 || self.wait_chunk_done(mig, m, c2)
+    }
+
+    /// Drives chunk `c` to `DONE`: claims it if pending, else spins until
+    /// its owner finishes. Spinners hold no locks, so an owner escalating
+    /// to the full-table emergency rebuild cannot deadlock against them.
+    fn wait_chunk_done(&self, mig: &Migration<K, V, B>, m: *mut Migration<K, V, B>, c: usize) -> bool {
+        let mut spins = 0u32;
+        loop {
+            match mig.chunk_states[c].load(Ordering::Acquire) {
+                CHUNK_DONE => return true,
+                CHUNK_PENDING => {
+                    if mig.chunk_states[c]
+                        .compare_exchange(
+                            CHUNK_PENDING,
+                            CHUNK_BUSY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return self.complete_chunk(mig, m, c);
+                    }
+                }
+                _ => {
+                    if self.migration.load(Ordering::SeqCst) != m {
+                        return false; // resolved by emergency rebuild
+                    }
+                    crate::sync::backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Migrates an owned (`BUSY`) chunk, publishes `DONE`, and finalizes
+    /// the whole migration if this was the last chunk.
+    fn complete_chunk(
+        &self,
+        mig: &Migration<K, V, B>,
+        m: *mut Migration<K, V, B>,
+        c: usize,
+    ) -> bool {
+        if !self.migrate_chunk(mig, m, c) {
+            return false; // migration resolved (emergency rebuild)
+        }
+        mig.chunk_states[c].store(CHUNK_DONE, Ordering::Release);
+        if mig.chunks_done.fetch_add(1, Ordering::SeqCst) + 1 == mig.n_chunks() {
+            self.finalize_migration(m);
+        }
+        true
+    }
+
+    /// Claims and migrates up to `max_chunks` pending chunks — the
+    /// cooperative tail sweep.
+    fn help_sweep(&self, mig: &Migration<K, V, B>, m: *mut Migration<K, V, B>, max_chunks: usize) {
+        let total = mig.n_chunks();
+        for _ in 0..max_chunks {
+            let start = mig.next_hint.fetch_add(1, Ordering::Relaxed) % total;
+            let mut claimed = None;
+            for off in 0..total {
+                let c = (start + off) % total;
+                if mig.chunk_states[c].load(Ordering::Acquire) == CHUNK_PENDING
+                    && mig.chunk_states[c]
+                        .compare_exchange(
+                            CHUNK_PENDING,
+                            CHUNK_BUSY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                {
+                    claimed = Some(c);
+                    break;
+                }
+            }
+            match claimed {
+                None => return, // nothing pending; the tail is others' BUSY chunks
+                Some(c) => {
+                    if !self.complete_chunk(mig, m, c) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves every entry of one owned chunk from the old table into the
+    /// new. Each entry moves atomically under the stripes of its old
+    /// bucket and both new-table candidate buckets, so no concurrent
+    /// operation can observe it absent from both tables or present in
+    /// both. `false` means the migration resolved underneath us.
+    fn migrate_chunk(
+        &self,
+        mig: &Migration<K, V, B>,
+        m: *mut Migration<K, V, B>,
+        chunk: usize,
+    ) -> bool {
+        // SAFETY (for all raw derefs below): callers are pinned and own
+        // the chunk, so both tables are live.
+        let old = unsafe { &*mig.old };
+        let new = unsafe { &*mig.new };
+        let lo = chunk * MIGRATION_CHUNK;
+        let hi = (lo + MIGRATION_CHUNK).min(old.n_buckets());
+        for ob in lo..hi {
+            let mut room_attempts = 0u32;
+            loop {
+                // Phase 1: pick the bucket's next entry and hash its key
+                // for the new table, under the old bucket's stripe only.
+                // Owning the chunk means only we (or an emergency
+                // rebuild, which the validation below catches) can touch
+                // this bucket's entries.
+                let (slot, ks_new);
+                {
+                    let _g = self.stripes.lock_pair(ob, ob);
+                    if self.migration.load(Ordering::SeqCst) != m {
+                        return false;
+                    }
+                    match old.first_occupied_slot(ob) {
+                        None => break, // bucket drained; next bucket
+                        Some(s) => {
+                            // SAFETY: stripe lock held; slot occupied.
+                            let key = unsafe { &*old.bucket(ob).key_ptr(s) };
+                            slot = s;
+                            ks_new = key_slots(&self.hash_builder, key, new.mask());
+                        }
+                    }
+                }
+                // Phase 2: move the entry under all three stripes.
+                let moved = {
+                    let _g = self.stripes.lock_multi([ob, ks_new.i1, ks_new.i2]);
+                    if self.migration.load(Ordering::SeqCst) != m {
+                        return false;
+                    }
+                    debug_assert!(
+                        old.meta(ob).is_occupied(slot),
+                        "only the chunk owner may drain its buckets"
+                    );
+                    match Self::locked_empty_slot(new, ks_new) {
+                        Some((nbi, ns)) => {
+                            // SAFETY: all three stripes held; source
+                            // occupied, destination empty.
+                            unsafe {
+                                let (k, v) = old.take_entry(ob, slot);
+                                new.write_entry(nbi, ns, ks_new.tag, k, v);
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if !moved {
+                    // Both new candidate buckets are full: displace
+                    // within the new table, then retry this entry.
+                    room_attempts += 1;
+                    if room_attempts > 8 || !self.make_room_in_new(mig, m, ks_new) {
+                        if self.migration.load(Ordering::SeqCst) != m {
+                            return false;
+                        }
+                        self.emergency_rebuild(m);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// BFS-displaces entries inside the new table to open a slot in one
+    /// of `ks`'s candidate buckets. `false` only when even BFS finds no
+    /// slot (the new table is effectively full).
+    fn make_room_in_new(
+        &self,
+        mig: &Migration<K, V, B>,
+        m: *mut Migration<K, V, B>,
+        ks: KeySlots,
+    ) -> bool {
+        // SAFETY: caller is pinned; the new table is live.
+        let new = unsafe { &*mig.new };
+        let searched = search::with_scratch(|scratch| {
+            bfs::search(new, ks.i1, ks.i2, self.max_search_slots, true, scratch)
+                .map(|()| scratch.path.clone())
+        });
+        match searched {
+            Err(_) => false,
+            Ok(path) => {
+                // A failed step just means a concurrent writer got there
+                // first; the caller re-examines the buckets either way.
+                let _ = self.execute_path_on(new, &path, || {
+                    self.migration.load(Ordering::SeqCst) == m
+                });
+                true
+            }
+        }
+    }
+
+    /// Publishes the fully-migrated new table and retires the old one.
+    /// Serialized with begin/emergency by `resize_lock`; only the
+    /// transition that still sees `m` live wins.
+    fn finalize_migration(&self, m: *mut Migration<K, V, B>) {
+        {
+            let _lk = self.resize_lock.lock().unwrap();
+            if self.migration.load(Ordering::SeqCst) != m {
+                return; // an emergency rebuild beat us to it
+            }
+            // SAFETY: `m` is the live descriptor (checked under the lock).
+            let mig = unsafe { &*m };
+            debug_assert_eq!(mig.chunks_done.load(Ordering::SeqCst), mig.n_chunks());
+            // Order matters for lock-free observers: after the first
+            // store, readers see (storage = new, migration = m) — the
+            // two-table path handles that (old is drained). After the
+            // second, the normal path takes over.
+            self.storage.store(mig.new, Ordering::SeqCst);
+            self.migration.store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+        // SAFETY: the descriptor is disconnected (no new loads of `m` can
+        // occur); re-owning the boxes exactly once. Pinned stragglers are
+        // covered by the epoch stamp.
+        let (old_box, desc_box) = unsafe {
+            let desc = Box::from_raw(m);
+            (Box::from_raw(desc.old), desc)
+        };
+        self.retire([
+            RetiredAlloc::Table(old_box),
+            RetiredAlloc::Desc(desc_box),
+        ]);
+    }
+
+    /// Escape hatch when the migration target itself cannot absorb the
+    /// load (BFS failure or livelock on the new table): rebuild
+    /// everything into a bigger table under the full-table lock, ending
+    /// the migration. The pause is proportional to table size, but this
+    /// only triggers when a doubling was insufficient mid-flight.
+    fn emergency_rebuild(&self, m: *mut Migration<K, V, B>) {
+        let _lk = self.resize_lock.lock().unwrap();
+        let all = self.stripes.lock_all();
+        if self.migration.load(Ordering::SeqCst) != m {
+            return; // finalized or already rebuilt by someone else
+        }
+        // SAFETY: `m` is the live descriptor; all stripes held, so we
+        // have exclusive access to both tables.
+        let mig = unsafe { &*m };
+        let old = unsafe { &*mig.old };
+        let new = unsafe { &*mig.new };
+        let mut entries: Vec<(K, V)> = Vec::new();
+        for t in [old, new] {
+            let coords: Vec<(usize, usize)> = t.occupied_coords().collect();
+            entries.reserve(coords.len());
+            for (bi, s) in coords {
+                // SAFETY: all stripes held; slot occupied.
+                entries.push(unsafe { t.take_entry(bi, s) });
+            }
+        }
+        let mut slots = new.total_slots() * 2;
+        let rebuilt = loop {
+            match self.try_rebuild(slots, &mut entries) {
+                Some(table) => break table,
+                None => slots *= 2,
+            }
+        };
+        debug_assert!(entries.is_empty());
+        // Disconnect the migration before publishing the rebuilt table;
+        // both orders are safe here because every observer re-validates
+        // under stripe locks we still hold.
+        self.migration.store(std::ptr::null_mut(), Ordering::SeqCst);
+        self.storage.store(Box::into_raw(rebuilt), Ordering::SeqCst);
+        drop(all);
+        // SAFETY: descriptor and both tables are disconnected; re-owning
+        // each box exactly once.
+        let (old_box, new_box, desc_box) = unsafe {
+            let desc = Box::from_raw(m);
+            (Box::from_raw(desc.old), Box::from_raw(desc.new), desc)
+        };
+        self.retire([
+            RetiredAlloc::Table(old_box),
+            RetiredAlloc::Table(new_box),
+            RetiredAlloc::Desc(desc_box),
+        ]);
+    }
+
+    /// Stamps `allocs` with a fresh retirement epoch and parks them in
+    /// the graveyard; over the soft cap, drains whatever older garbage
+    /// has quiesced.
+    fn retire<I: IntoIterator<Item = RetiredAlloc<K, V, B>>>(&self, allocs: I) {
+        let epoch = self.epochs.retire_epoch();
+        let mut g = self.graveyard.lock().unwrap();
+        g.extend(allocs.into_iter().map(|alloc| Retired { epoch, alloc }));
+        if g.len() > GRAVEYARD_SOFT_CAP {
+            let min = self.epochs.min_active();
+            g.retain(|r| r.epoch >= min);
+        }
+    }
+
+    /// Opportunistically frees retired allocations no in-flight operation
+    /// can still reference.
+    fn try_drain_graveyard(&self) {
+        if let Ok(mut g) = self.graveyard.try_lock() {
+            if g.is_empty() {
+                return;
+            }
+            let min = self.epochs.min_active();
+            g.retain(|r| r.epoch >= min);
+        }
     }
 
     /// Builds a table of `slots` capacity containing `entries` (drained on
@@ -529,9 +1283,10 @@ where
 {
     /// Locks the whole table and returns a guard providing consistent
     /// iteration — libcuckoo's `lock_table()`. All concurrent operations
-    /// block until the guard drops.
+    /// block until the guard drops. Any in-flight migration is driven to
+    /// completion first, so every entry is in one table.
     pub fn lock_table(&self) -> LockedTable<'_, K, V, B, S> {
-        let guard = self.stripes.lock_all();
+        let guard = self.lock_all_quiesced();
         LockedTable { map: self, _guard: guard }
     }
 
@@ -549,21 +1304,46 @@ where
         if let Some(v) = self.get(&key) {
             return v;
         }
-        match self.insert(key.clone(), make()) {
-            Ok(()) => self.get(&key).expect("just inserted"),
-            Err(InsertError::KeyExists) => self.get(&key).expect("exists"),
-            Err(InsertError::TableFull) => unreachable!("insert expands instead"),
+        let val = make();
+        loop {
+            match self.insert(key.clone(), val.clone()) {
+                Ok(()) => return val,
+                Err(InsertError::KeyExists) => {
+                    if let Some(v) = self.get(&key) {
+                        return v;
+                    }
+                    // A concurrent delete removed the winner between our
+                    // failed insert and the read; retry our own insert.
+                }
+                Err(InsertError::TableFull) => unreachable!("insert expands instead"),
+            }
         }
     }
 
     /// Applies `f` to `key`'s value in place under the lock; `false` when
     /// absent.
     pub fn modify(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
+        let _pin = self.epochs.pin();
         loop {
+            if let Some((new, m)) = self.writer_table(key) {
+                let ks = key_slots(&self.hash_builder, key, new.mask());
+                let _g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.migration_still_targets(m) {
+                    continue;
+                }
+                return match Self::locked_find(new, ks, key) {
+                    Some((bi, s)) => {
+                        // SAFETY: pair lock held; slot occupied.
+                        f(unsafe { &mut *new.bucket(bi).val_ptr(s) });
+                        true
+                    }
+                    None => false,
+                };
+            }
             let raw = self.current();
             let ks = key_slots(&self.hash_builder, key, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
-            if !self.is_current(raw) {
+            if !self.table_is_stable(raw) {
                 continue;
             }
             return match Self::locked_find(raw, ks, key) {
@@ -580,7 +1360,8 @@ where
     /// Removes every entry for which `f` returns `false`, under the
     /// full-table lock. Returns how many entries were removed.
     pub fn retain(&self, mut f: impl FnMut(&K, &V) -> bool) -> usize {
-        let _g = self.stripes.lock_all();
+        let _pin = self.epochs.pin();
+        let _g = self.lock_all_quiesced();
         let raw = self.current();
         let coords: Vec<(usize, usize)> = raw.occupied_coords().collect();
         let mut removed = 0;
@@ -707,13 +1488,24 @@ impl<'g, K, V, const B: usize> Iterator for LockedIter<'g, K, V, B> {
 
 impl<K, V, const B: usize, S> Drop for CuckooMap<K, V, B, S> {
     fn drop(&mut self) {
+        let m = *self.migration.get_mut();
+        if !m.is_null() {
+            // Dropped mid-migration: entries are split across old and
+            // new. `old` is the storage pointer (freed below); the
+            // descriptor and its new table are owned only by us.
+            // SAFETY: `&mut self` — no concurrent users; both pointers
+            // came from `Box::into_raw` exactly once.
+            let desc = unsafe { Box::from_raw(m) };
+            drop(unsafe { Box::from_raw(desc.new) });
+            drop(desc);
+        }
         let ptr = *self.storage.get_mut();
         if !ptr.is_null() {
             // SAFETY: `ptr` came from `Box::into_raw` and is owned solely
             // by this map.
             drop(unsafe { Box::from_raw(ptr) });
         }
-        // graveyard drops via Mutex<Vec<Box<_>>>.
+        // graveyard drops via Mutex<Vec<Retired<_>>>.
     }
 }
 
@@ -905,12 +1697,190 @@ mod tests {
     }
 
     #[test]
+    fn incremental_migration_serves_reads_mid_flight() {
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        let initial_cap = m.capacity();
+        let n = 512u64;
+        for k in 0..n {
+            m.insert(k, k + 7).unwrap();
+        }
+        m.begin_migration(m.current());
+        assert!(m.is_migrating());
+        // Nothing migrated yet: every read goes through the two-table
+        // path and must still see every key.
+        for k in 0..n {
+            assert_eq!(m.get(&k), Some(k + 7), "mid-migration read of {k}");
+        }
+        // A write migrates only the chunks covering its own buckets
+        // (plus one swept chunk), not the whole table.
+        assert_eq!(m.remove(&3), Some(10));
+        assert!(m.is_migrating(), "one write must not finish the migration");
+        assert_eq!(m.get(&3), None);
+        for k in 4..n {
+            assert_eq!(m.get(&k), Some(k + 7));
+        }
+        // Drive the migration to completion.
+        while m.help_migrate(usize::MAX) {}
+        assert!(!m.is_migrating());
+        assert_eq!(m.capacity(), initial_cap * 2);
+        assert_eq!(m.len(), n as usize - 1);
+        for k in 4..n {
+            assert_eq!(m.get(&k), Some(k + 7), "key {k} lost in migration");
+        }
+    }
+
+    #[test]
+    fn migration_writer_protocol_updates_land_in_new_table() {
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        for k in 0..400u64 {
+            m.insert(k, k).unwrap();
+        }
+        m.begin_migration(m.current());
+        // Mutations mid-migration: each first migrates its key's chunks.
+        assert_eq!(m.update(&10, 99), Some(10));
+        assert!(m.modify(&11, |v| *v += 1));
+        m.insert(1_000, 1).unwrap();
+        assert_eq!(m.upsert(1_001, 2), UpsertOutcome::Inserted);
+        assert_eq!(m.upsert(10, 100), UpsertOutcome::Updated);
+        while m.help_migrate(usize::MAX) {}
+        assert_eq!(m.get(&10), Some(100));
+        assert_eq!(m.get(&11), Some(12));
+        assert_eq!(m.get(&1_000), Some(1));
+        assert_eq!(m.get(&1_001), Some(2));
+        assert_eq!(m.len(), 402);
+    }
+
+    #[test]
+    fn stop_the_world_mode_expands_and_drains_graveyard() {
+        let m: CuckooMap<u64, u64, 4> =
+            CuckooMap::with_capacity_and_mode(0, ResizeMode::StopTheWorld);
+        assert_eq!(m.resize_mode(), ResizeMode::StopTheWorld);
+        let initial = m.capacity();
+        let n = (initial * 16) as u64;
+        for k in 0..n {
+            m.insert(k, k).unwrap();
+        }
+        assert!(!m.is_migrating(), "stop-the-world mode never migrates");
+        assert!(m.capacity() >= initial * 16);
+        for k in 0..n {
+            assert_eq!(m.get(&k), Some(k));
+        }
+        // The old leak: one table parked forever per doubling. Retires
+        // now drain at the soft cap once older epochs quiesce.
+        assert!(
+            m.graveyard.lock().unwrap().len() <= GRAVEYARD_SOFT_CAP + 1,
+            "retired tables must drain at quiescent points"
+        );
+    }
+
+    #[test]
+    fn graveyard_drains_across_incremental_doublings() {
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        let initial = m.capacity();
+        let mut k = 0u64;
+        // Force at least 8 consecutive doublings.
+        while m.capacity() < initial * 256 {
+            m.insert(k, k).unwrap();
+            k += 1;
+        }
+        let live = m.current().memory_bytes();
+        assert!(
+            m.graveyard.lock().unwrap().len() <= GRAVEYARD_SOFT_CAP + 2,
+            "graveyard must stay bounded across doublings"
+        );
+        assert!(
+            m.memory_bytes() < live * 4,
+            "retired tables must not accumulate: total {} vs live {live}",
+            m.memory_bytes()
+        );
+        for i in 0..k {
+            assert_eq!(m.get(&i), Some(i), "key {i} lost across doublings");
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_survives_concurrent_deletes() {
+        // Regression: a concurrent delete between this call's failed
+        // insert (KeyExists) and its follow-up get used to panic on
+        // `.expect("exists")`.
+        let m: CuckooMap<u64, u64> = CuckooMap::with_capacity(4096);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..20_000u64 {
+                        let k = i % 8;
+                        let v = m.get_or_insert_with(k, || 7);
+                        assert!(v == 1 || v == 7, "value must come from insert or racer");
+                    }
+                });
+            }
+            let m = &m;
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    let k = i % 8;
+                    let _ = m.insert(k, 1);
+                    m.remove(&k);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_during_incremental_migrations() {
+        // Writers force doublings while readers hammer gets; values
+        // carry an invariant so any torn/stale read is caught.
+        let m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
+        const WRITERS: u64 = 2;
+        const READERS: u64 = 2;
+        const PER: u64 = 8_000;
+        std::thread::scope(|s| {
+            for t in 0..WRITERS {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let key = t * 1_000_000 + i;
+                        m.insert(key, key * 2 + 1).unwrap();
+                        if i % 64 == 0 {
+                            m.remove(&key);
+                        }
+                    }
+                });
+            }
+            for t in 0..READERS {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let key = (t % WRITERS) * 1_000_000 + (i * 7) % PER;
+                        if let Some(v) = m.get(&key) {
+                            assert_eq!(v, key * 2 + 1, "torn read of {key}");
+                        }
+                    }
+                });
+            }
+        });
+        for t in 0..WRITERS {
+            for i in 0..PER {
+                let key = t * 1_000_000 + i;
+                if i % 64 != 0 {
+                    assert_eq!(m.get(&key), Some(key * 2 + 1), "key {key} lost");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn purge_retired_reclaims_memory() {
         let mut m: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(0);
         let n = (m.capacity() * 8) as u64;
         for k in 0..n {
             m.insert(k, k).unwrap();
         }
+        // Finish any in-flight expansion: finalization retires the old
+        // table into the graveyard, and the finalizing operation's own
+        // epoch pin keeps that entry parked there (nothing after it
+        // drains), so `purge_retired` has something to reclaim.
+        while m.help_migrate(usize::MAX) {}
         let before = m.memory_bytes();
         m.purge_retired();
         let after = m.memory_bytes();

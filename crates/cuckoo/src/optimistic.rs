@@ -346,14 +346,43 @@ where
     /// Doubles the table's capacity, rehashing every entry (the
     /// "expansion process" the paper schedules when a table becomes too
     /// full, §4.1). Requires exclusive access.
+    ///
+    /// A table at ≤50% average load *usually* rehashes into the doubled
+    /// table without exhausting the BFS budget, but an adversarial key
+    /// distribution can still defeat one attempt (all keys sharing few
+    /// candidate buckets under the new, larger mask). Rather than
+    /// panicking on that tail case, the rebuild keeps doubling until
+    /// every entry places.
     pub fn expand(&mut self) {
-        let new_capacity = self.raw.total_slots() * 2;
-        let new_raw: RawTable<K, V, B> = RawTable::with_capacity(new_capacity);
-        search::with_scratch(|scratch| {
-            let coords: Vec<(usize, usize)> = self.raw.occupied_coords().collect();
-            for (bi, s) in coords {
-                // SAFETY: exclusive access; slot occupied.
-                let (k, v) = unsafe { self.raw.take_entry(bi, s) };
+        // Drain every entry first so a failed attempt can be retried at a
+        // larger size without losing items.
+        let coords: Vec<(usize, usize)> = self.raw.occupied_coords().collect();
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(coords.len());
+        for (bi, s) in coords {
+            // SAFETY: exclusive access; slot occupied.
+            entries.push(unsafe { self.raw.take_entry(bi, s) });
+        }
+        let mut new_capacity = self.raw.total_slots() * 2;
+        loop {
+            if let Some(new_raw) = self.try_rebuild_into(new_capacity, &mut entries) {
+                self.raw = new_raw;
+                return;
+            }
+            new_capacity *= 2;
+        }
+    }
+
+    /// Rehashes `entries` into a fresh private table of `capacity` slots.
+    /// On BFS-budget exhaustion, drains everything placed so far back
+    /// into `entries` and returns `None` so the caller can retry larger.
+    fn try_rebuild_into(
+        &self,
+        capacity: usize,
+        entries: &mut Vec<(K, V)>,
+    ) -> Option<RawTable<K, V, B>> {
+        let new_raw: RawTable<K, V, B> = RawTable::with_capacity(capacity);
+        let ok = search::with_scratch(|scratch| {
+            while let Some((k, v)) = entries.pop() {
                 let ks = key_slots(&self.hash_builder, &k, new_raw.mask());
                 let placed = [ks.i1, ks.i2]
                     .iter()
@@ -363,10 +392,13 @@ where
                     unsafe { new_raw.write_entry(nb, slot, ks.tag, k, v) };
                     continue;
                 }
-                // Both candidates full at ≤50% average load: displace via
-                // BFS (cannot exhaust the budget at this occupancy).
-                bfs::search(&new_raw, ks.i1, ks.i2, self.max_search_slots, false, scratch)
-                    .expect("expansion target cannot be full at half load");
+                // Both candidates full: displace via BFS.
+                if bfs::search(&new_raw, ks.i1, ks.i2, self.max_search_slots, false, scratch)
+                    .is_err()
+                {
+                    entries.push((k, v));
+                    return false;
+                }
                 let path = scratch.path.clone();
                 for i in (0..path.len() - 1).rev() {
                     let (src, dst) = (path[i], path[i + 1]);
@@ -382,8 +414,19 @@ where
                     new_raw.write_entry(head.bucket, head.slot as usize, ks.tag, k, v)
                 };
             }
+            true
         });
-        self.raw = new_raw;
+        if ok {
+            Some(new_raw)
+        } else {
+            // Hand the partial table's entries back for the retry.
+            let coords: Vec<(usize, usize)> = new_raw.occupied_coords().collect();
+            for (bi, s) in coords {
+                // SAFETY: private table; slots occupied.
+                entries.push(unsafe { new_raw.take_entry(bi, s) });
+            }
+            None
+        }
     }
 
     fn insert_inner(&self, key: K, val: V, upsert: bool) -> Result<UpsertOutcome, InsertError> {
@@ -864,6 +907,32 @@ mod tests {
         // Room for more now.
         for k in n..(before as u64) {
             m.insert(k, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn expand_with_starved_search_budget_does_not_panic() {
+        // A search budget of one bucket makes BFS fail whenever a key's
+        // first candidate bucket is full, so rehashing into the doubled
+        // table routinely exhausts the budget. The old code `expect`ed
+        // this could never happen at half load and panicked; now the
+        // rebuild keeps doubling until every entry places.
+        let mut m: OptimisticCuckooMap<u64, u64, 4> =
+            Builder::new(1 << 8).search_budget(4).build();
+        let mut inserted = Vec::new();
+        for k in 0..(m.capacity() as u64) {
+            if m.insert(k, !k).is_err() {
+                break;
+            }
+            inserted.push(k);
+        }
+        assert!(inserted.len() > m.capacity() / 8, "table filled too little");
+        let before = m.capacity();
+        m.expand();
+        assert!(m.capacity() >= before * 2);
+        assert_eq!(m.len(), inserted.len());
+        for &k in &inserted {
+            assert_eq!(m.get(&k), Some(!k), "key {k} lost in expansion");
         }
     }
 

@@ -33,14 +33,25 @@ impl<K, V, const B: usize> RawTable<K, V, B> {
 
     /// Creates a table with at least `capacity` item slots, rounding the
     /// bucket count up to a power of two.
+    ///
+    /// Both arrays come from zeroed allocations rather than per-element
+    /// construction: for large tables the allocator serves zeroed pages
+    /// lazily, so construction is O(1) and the touch cost is paid as
+    /// buckets are first used. This keeps `begin_migration` — which
+    /// allocates the doubled table inline in whichever insert trips the
+    /// expansion — off the latency tail.
     pub fn with_capacity(capacity: usize) -> Self {
+        // Bucket::new() carries the associativity bound; keep it here.
+        assert!(B > 0 && B <= crate::bucket::MAX_WAYS, "set-associativity must be 1..=16");
         let want_buckets = capacity.div_ceil(B).max(Self::MIN_BUCKETS);
         let n = want_buckets.next_power_of_two();
-        RawTable {
-            buckets: (0..n).map(|_| Bucket::new()).collect(),
-            meta: (0..n).map(|_| BucketMeta::new()).collect(),
-            mask: n - 1,
-        }
+        // SAFETY: all-zero bytes are a valid `BucketMeta` (atomics at 0 =
+        // nothing occupied, no tags) and a valid `Bucket` (entry storage
+        // is `MaybeUninit`; occupancy lives solely in the metadata).
+        let buckets = unsafe { Box::new_zeroed_slice(n).assume_init() };
+        // SAFETY: as above.
+        let meta = unsafe { Box::new_zeroed_slice(n).assume_init() };
+        RawTable { buckets, meta, mask: n - 1 }
     }
 
     /// Number of buckets (a power of two).
@@ -130,6 +141,19 @@ impl<K, V, const B: usize> RawTable<K, V, B> {
     pub fn memory_bytes(&self) -> usize {
         self.buckets.len() * core::mem::size_of::<Bucket<K, V, B>>()
             + self.meta.len() * core::mem::size_of::<BucketMeta<B>>()
+    }
+
+    /// Lowest occupied slot index in `bucket`, if any. Incremental
+    /// migration drains buckets one entry at a time with this, so each
+    /// move holds its stripe locks only briefly.
+    #[inline]
+    pub fn first_occupied_slot(&self, bucket: usize) -> Option<usize> {
+        let mask = self.meta(bucket).occupied_mask();
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
     }
 
     /// Iterates over `(bucket_index, slot)` of every occupied slot.

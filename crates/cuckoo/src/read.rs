@@ -27,10 +27,14 @@ where
     V: Plain,
 {
     let mut watchdog = 0u64;
+    let mut spins = 0u32;
     loop {
         if let Some(result) = try_get(raw, stripes, ks, key) {
             return result;
         }
+        // A failed validation means a writer holds (or bumped) a stripe;
+        // hammering the version counters only slows that writer down.
+        crate::sync::backoff(&mut spins);
         watchdog += 1;
         debug_assert!(watchdog < 100_000_000, "optimistic get starved: ks={ks:?}");
     }
@@ -94,6 +98,8 @@ pub(crate) fn contains<K, V, const B: usize>(
 where
     K: Plain + Eq,
 {
+    let mut watchdog = 0u64;
+    let mut spins = 0u32;
     loop {
         let s1 = stripes.stripe(ks.i1);
         let s2 = stripes.stripe(ks.i2);
@@ -122,6 +128,12 @@ where
         if s1.read_validate(st1) && (same_stripe || s2.read_validate(st2)) {
             return found;
         }
+        crate::sync::backoff(&mut spins);
+        watchdog += 1;
+        debug_assert!(
+            watchdog < 100_000_000,
+            "optimistic contains starved: ks={ks:?}"
+        );
     }
 }
 

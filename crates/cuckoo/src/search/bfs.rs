@@ -25,12 +25,26 @@ use crate::raw::RawTable;
 /// Maximum cuckoo-path length from a BFS over a `B`-way table with an
 /// `M`-slot budget (Eq. 2 / Appendix C):
 /// `L_BFS = ceil(log_B(M/2 - M/(2B) + 1))`.
+///
+/// Computed in integer arithmetic as the smallest `L` with
+/// `2·B^(L+1) ≥ M·(B−1) + 2·B` (Eq. 2 with both sides multiplied by
+/// `2B`). The obvious float form `(leaves.ln()/b.ln()).ceil()` rounds
+/// *up* across exact integer boundaries when the quotient lands a few
+/// ulps high — e.g. B = 5, M = 310 gives `log_5(125) = 3.0000000000000004`
+/// and a bound of 4 instead of the correct 3.
 pub fn bfs_max_path_len(ways: usize, max_slots: usize) -> usize {
     assert!(ways >= 2, "Eq. 2 requires B >= 2");
-    let m = max_slots as f64;
-    let b = ways as f64;
-    let leaves = m / 2.0 - m / (2.0 * b) + 1.0;
-    (leaves.ln() / b.ln()).ceil() as usize
+    let b = ways as u128;
+    let m = max_slots as u128;
+    // leaves * 2B = M(B-1) + 2B; find the smallest L with B^L >= leaves.
+    let rhs = m * (b - 1) + 2 * b;
+    let mut l = 0usize;
+    let mut pow = 2 * b; // 2B * B^L at L = 0
+    while pow < rhs {
+        l += 1;
+        pow = pow.saturating_mul(b);
+    }
+    l
 }
 
 /// Searches for a cuckoo path from buckets `i1`/`i2` to an empty slot,
@@ -158,6 +172,35 @@ mod tests {
         assert!(bfs_max_path_len(8, 2000) <= 4);
         // 2-way set-associative (Figure 4's example scale).
         assert_eq!(bfs_max_path_len(2, 4), 1);
+    }
+
+    #[test]
+    fn eq2_exact_integer_boundaries() {
+        // Configurations where `leaves` is an exact power of B, so the
+        // log quotient sits on an integer boundary. Float evaluation of
+        // `ln(leaves)/ln(b)` lands a few ulps high for B=5, M=310
+        // (log_5(125) = 3.0000000000000004) and used to report 4.
+        assert_eq!(bfs_max_path_len(5, 310), 3);
+        assert_eq!(bfs_max_path_len(2, 12), 2); // leaves = 4 = 2^2
+        assert_eq!(bfs_max_path_len(2, 28), 3); // leaves = 8 = 2^3
+        assert_eq!(bfs_max_path_len(3, 24), 2); // leaves = 9 = 3^2
+        // Degenerate small-M edges: a budget that cannot even cover one
+        // bucket still yields a well-defined (zero-length) bound.
+        assert_eq!(bfs_max_path_len(2, 0), 0); // leaves = 1 = 2^0
+        assert_eq!(bfs_max_path_len(2, 2), 1);
+    }
+
+    #[test]
+    fn eq2_monotonic_in_budget() {
+        // The bound must never decrease as the search budget grows.
+        for ways in [2usize, 4, 8] {
+            let mut prev = 0;
+            for m in 0..4096 {
+                let l = bfs_max_path_len(ways, m);
+                assert!(l >= prev, "bound regressed at B={ways}, M={m}");
+                prev = l;
+            }
+        }
     }
 
     #[test]

@@ -22,8 +22,18 @@
 //! - [`LockStripes::lock_all`] — the pessimistic full-table acquisition
 //!   the paper describes as the probabilistic-livelock escape hatch
 //!   ("acquiring each of the 2048 locks in the lock-striped table").
+//! - [`LockStripes::lock_multi`] — ordered acquisition of up to three
+//!   stripes at once, used by incremental expansion to move one entry
+//!   atomically between an old-table bucket and its two new-table
+//!   candidate buckets.
+//! - [`EpochRegistry`] — striped epoch counters for quiescence-based
+//!   reclamation of retired bucket arrays: every table operation pins
+//!   the current epoch in a padded per-thread stripe, and a retired
+//!   allocation is freed once every active stripe has advanced past the
+//!   retirement epoch (so no in-flight lock-free search can still hold
+//!   the pointer).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of lock stripes the paper's implementation uses by default.
 pub const DEFAULT_STRIPES: usize = 2048;
@@ -240,6 +250,35 @@ impl LockStripes {
         AllGuard { stripes: self }
     }
 
+    /// Locks the stripes covering up to three buckets in stripe-index
+    /// order (deadlock-free with [`LockStripes::lock_pair`] and with
+    /// itself); shared stripes are locked once.
+    ///
+    /// Incremental expansion uses this to move one entry atomically from
+    /// an old-table bucket into one of its two new-table candidate
+    /// buckets: all three buckets' stripes are held, so no reader or
+    /// writer can observe the entry absent from both tables or present in
+    /// both.
+    pub fn lock_multi(&self, buckets: [usize; 3]) -> MultiGuard<'_> {
+        let mut s = buckets.map(|b| self.stripe_of(b));
+        s.sort_unstable();
+        let mut held = [usize::MAX; 3];
+        let mut n = 0;
+        for idx in s {
+            if n > 0 && held[n - 1] == idx {
+                continue; // shared stripe: lock once
+            }
+            self.stripes[idx].0.lock();
+            held[n] = idx;
+            n += 1;
+        }
+        MultiGuard {
+            stripes: self,
+            held,
+            n,
+        }
+    }
+
     /// Bytes of memory the stripe table occupies (for the paper's memory
     /// accounting: "the efficiency of the basic table plus the small
     /// additional lock-striping table").
@@ -271,6 +310,31 @@ impl Drop for PairGuard<'_> {
             self.stripes.stripes[self.hi].0.unlock();
         }
         self.stripes.stripes[self.lo].0.unlock();
+    }
+}
+
+/// Guard holding one to three stripe locks; releases in reverse order.
+#[derive(Debug)]
+pub struct MultiGuard<'a> {
+    stripes: &'a LockStripes,
+    held: [usize; 3],
+    n: usize,
+}
+
+impl MultiGuard<'_> {
+    /// Whether this guard covers the stripe of `bucket`.
+    #[inline]
+    pub fn covers(&self, bucket: usize) -> bool {
+        let s = self.stripes.stripe_of(bucket);
+        self.held[..self.n].contains(&s)
+    }
+}
+
+impl Drop for MultiGuard<'_> {
+    fn drop(&mut self) {
+        for &idx in self.held[..self.n].iter().rev() {
+            self.stripes.stripes[idx].0.unlock();
+        }
     }
 }
 
@@ -324,6 +388,136 @@ pub struct SpinGuard<'a> {
 impl Drop for SpinGuard<'_> {
     fn drop(&mut self) {
         self.lock.unlock();
+    }
+}
+
+/// Number of reader-registration stripes in an [`EpochRegistry`].
+const EPOCH_SLOTS: usize = 64;
+
+/// Low 48 bits of a slot word hold the pinned epoch; the high 16 bits
+/// count how many threads are pinned through the slot.
+const EPOCH_MASK: u64 = (1 << 48) - 1;
+const COUNT_UNIT: u64 = 1 << 48;
+
+/// One epoch slot alone on its cache line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedEpochSlot(AtomicU64);
+
+/// Striped epoch counters proving when retired allocations are
+/// unreachable.
+///
+/// Every table operation [`pin`](EpochRegistry::pin)s the registry for
+/// its duration. Retiring an allocation stamps it with the then-current
+/// global epoch and bumps the epoch, so any *later* pin observes a
+/// strictly greater epoch. An allocation stamped `e` is reclaimable once
+/// [`min_active`](EpochRegistry::min_active) exceeds `e`: every operation
+/// that could have loaded the retired pointer has since unpinned.
+///
+/// Slot words pack `(count:16, epoch:48)`. A thread joining a non-empty
+/// slot keeps the slot's (older) epoch rather than publishing its own —
+/// conservative, and what makes a single CAS per pin sufficient.
+#[derive(Debug)]
+pub struct EpochRegistry {
+    global: AtomicU64,
+    slots: Box<[PaddedEpochSlot]>,
+}
+
+impl Default for EpochRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochRegistry {
+    /// Creates a registry at epoch 1 (so epoch 0 can mean "never").
+    pub fn new() -> Self {
+        EpochRegistry {
+            global: AtomicU64::new(1),
+            slots: (0..EPOCH_SLOTS)
+                .map(|_| PaddedEpochSlot::default())
+                .collect(),
+        }
+    }
+
+    /// Registers the calling thread as active in the current epoch.
+    ///
+    /// Must be held for the whole window in which a pointer loaded from
+    /// shared state is dereferenced.
+    pub fn pin(&self) -> EpochGuard<'_> {
+        thread_local! {
+            static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+        let slot = SLOT.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % EPOCH_SLOTS;
+                s.set(v);
+            }
+            v
+        });
+        let word = &self.slots[slot].0;
+        let mut spins = 0u32;
+        loop {
+            let cur = word.load(Ordering::SeqCst);
+            let next = if cur & !EPOCH_MASK == 0 {
+                // First pinner through this slot: publish the current
+                // global epoch. SeqCst orders this against the retirer's
+                // epoch bump, so a retire that precedes our pin is
+                // observed (we publish an epoch > its stamp).
+                COUNT_UNIT | self.global.load(Ordering::SeqCst)
+            } else {
+                // Nested/concurrent pin: keep the slot's older epoch.
+                cur + COUNT_UNIT
+            };
+            if word
+                .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return EpochGuard { word };
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Stamps a retirement: returns the epoch to tag the retired
+    /// allocation with, and advances the global epoch so later pins
+    /// observe a greater value.
+    pub fn retire_epoch(&self) -> u64 {
+        self.global.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The smallest epoch any active pin may still observe, or
+    /// `u64::MAX` when no thread is pinned. An allocation retired at
+    /// epoch `e` is safe to free when `e < min_active()`.
+    pub fn min_active(&self) -> u64 {
+        let mut min = u64::MAX;
+        for s in self.slots.iter() {
+            let w = s.0.load(Ordering::SeqCst);
+            if w & !EPOCH_MASK != 0 {
+                min = min.min(w & EPOCH_MASK);
+            }
+        }
+        min
+    }
+
+    /// Bytes occupied by the registry (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<PaddedEpochSlot>()
+    }
+}
+
+/// Active-pin token; dropping it deregisters the thread.
+#[derive(Debug)]
+pub struct EpochGuard<'a> {
+    word: &'a AtomicU64,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.word.fetch_sub(COUNT_UNIT, Ordering::SeqCst);
+        debug_assert!(prev & !EPOCH_MASK != 0, "unpin without matching pin");
     }
 }
 
@@ -464,4 +658,100 @@ mod tests {
     // SAFETY: test-only; the pointee outlives the scope and access is
     // serialized by the lock under test.
     unsafe impl Send for SendPtr {}
+
+    #[test]
+    fn multi_lock_dedupes_shared_stripes() {
+        let s = LockStripes::new(8);
+        {
+            let g = s.lock_multi([1, 9, 3]); // 1 and 9 share a stripe
+            assert!(g.covers(1));
+            assert!(g.covers(9));
+            assert!(g.covers(3));
+            assert!(!g.covers(4));
+            assert!(s.stripe(1).is_locked());
+            assert!(s.stripe(3).is_locked());
+        }
+        assert!(!s.stripe(1).is_locked());
+        assert!(!s.stripe(3).is_locked());
+        {
+            let _g = s.lock_multi([5, 5, 5]);
+            assert!(s.stripe(5).is_locked());
+        }
+        assert!(!s.stripe(5).is_locked());
+    }
+
+    #[test]
+    fn multi_lock_orders_against_pair_lock() {
+        // Interleave lock_multi and lock_pair over overlapping stripes
+        // from several threads; ordered acquisition must not deadlock.
+        let s = LockStripes::new(4);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                let hits = &hits;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        if (t + i) % 2 == 0 {
+                            let _g = s.lock_multi([i % 4, (i + 1) % 4, (i + 3) % 4]);
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            let _g = s.lock_pair((i + 2) % 4, i % 4);
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn epoch_pin_blocks_reclamation_until_dropped() {
+        let r = EpochRegistry::new();
+        assert_eq!(r.min_active(), u64::MAX, "no pins: everything freeable");
+        let g = r.pin();
+        let before = r.min_active();
+        assert_ne!(before, u64::MAX);
+        let tag = r.retire_epoch();
+        // The pre-existing pin observed an epoch <= tag, so the retired
+        // allocation is not yet freeable.
+        assert!(r.min_active() <= tag);
+        drop(g);
+        // A fresh pin starts after the retire; it must not hold the tag back.
+        let _g2 = r.pin();
+        assert!(r.min_active() > tag, "post-retire pin observes newer epoch");
+    }
+
+    #[test]
+    fn epoch_nested_pins_keep_oldest() {
+        let r = EpochRegistry::new();
+        // Two pins from the same thread share a slot; the second must not
+        // advance the slot's published epoch past the first.
+        let g1 = r.pin();
+        let floor = r.min_active();
+        r.retire_epoch();
+        let g2 = r.pin();
+        assert_eq!(r.min_active(), floor, "nested pin kept the older epoch");
+        drop(g1);
+        drop(g2);
+        assert_eq!(r.min_active(), u64::MAX);
+    }
+
+    #[test]
+    fn epoch_concurrent_pin_unpin_balances() {
+        let r = EpochRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = &r;
+                scope.spawn(move || {
+                    for _ in 0..2000 {
+                        let _g = r.pin();
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.min_active(), u64::MAX, "all pins released");
+    }
 }

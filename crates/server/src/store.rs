@@ -282,9 +282,25 @@ struct StoredItem {
     data: Box<[u8]>,
 }
 
+/// Chunks the background sweeper migrates per pass. Small enough that a
+/// pass never monopolizes the stripe locks, large enough that an idle
+/// server still finishes a doubling in a few hundred passes.
+const SWEEP_CHUNKS: usize = 8;
+
+/// Sweeper nap between passes when no migration is in flight.
+const SWEEP_IDLE: std::time::Duration = std::time::Duration::from_millis(2);
+
 /// No-eviction store over the general `cuckoo::CuckooMap`.
+///
+/// The map expands incrementally: writers that land on an unmigrated
+/// bucket move a chunk themselves, so expansion progresses with the
+/// write load. A read-mostly workload, however, could leave a migration
+/// half-finished (and readers on the two-table path) indefinitely, so
+/// each store spawns a detached background sweeper that drains pending
+/// chunks whenever a migration is in flight. The sweeper holds only a
+/// [`Weak`] reference and exits when the store is dropped.
 pub struct CuckooStore {
-    map: CuckooMap<Box<[u8]>, Arc<StoredItem>, 8>,
+    map: Arc<CuckooMap<Box<[u8]>, Arc<StoredItem>, 8>>,
     cas: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -296,8 +312,22 @@ pub struct CuckooStore {
 
 impl CuckooStore {
     pub fn new(capacity: usize) -> Self {
+        let map = Arc::new(CuckooMap::with_capacity(capacity));
+        let weak = Arc::downgrade(&map);
+        std::thread::Builder::new()
+            .name("cuckoo-sweeper".into())
+            .spawn(move || loop {
+                let Some(map) = weak.upgrade() else { return };
+                let migrating = map.help_migrate(SWEEP_CHUNKS);
+                // Don't keep the store alive while napping.
+                drop(map);
+                if !migrating {
+                    std::thread::sleep(SWEEP_IDLE);
+                }
+            })
+            .expect("failed to spawn cuckoo-sweeper thread");
         CuckooStore {
-            map: CuckooMap::with_capacity(capacity),
+            map,
             cas: AtomicU64::new(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -529,6 +559,37 @@ mod tests {
         let big = vec![7u8; 100_000];
         assert_eq!(s.store(StoreVerb::Set, b"big", 0, 0, &big, 0), StoreOutcome::Stored);
         assert_eq!(s.get(b"big", 0).unwrap().data, big);
+    }
+
+    #[test]
+    fn cuckoo_store_sweeper_finishes_migration_without_writers() {
+        let s = CuckooStore::new(8192);
+        // Insert until we catch an incremental expansion mid-flight, then
+        // stop writing entirely: the background sweeper alone must drive
+        // the migration to completion.
+        let mut n = 0u64;
+        while !s.map.is_migrating() {
+            let key = format!("key-{n}");
+            assert_eq!(
+                s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0),
+                StoreOutcome::Stored
+            );
+            n += 1;
+            assert!(n < 1_000_000, "never observed a migration in flight");
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while s.map.is_migrating() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sweeper failed to finish the migration"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Nothing lost across the sweeper-driven migration.
+        for i in 0..n {
+            let key = format!("key-{i}");
+            assert_eq!(s.get(key.as_bytes(), 0).unwrap().data, b"v");
+        }
     }
 
     #[test]
