@@ -29,8 +29,8 @@
 
 use cuckoo::{InsertError, OptimisticCuckooMap};
 use htm::Plain;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use cuckoo::sync2::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use cuckoo::sync2::Mutex;
 
 /// Slab slot states.
 const FREE: u8 = 0;
@@ -104,6 +104,11 @@ pub struct ClockCache<V: Plain> {
     updates: AtomicU64,
     deletes: AtomicU64,
     expirations: AtomicU64,
+    /// Model-checking mutation switch: re-enables the pre-fix delete
+    /// ordering (remove the map entry *before* claiming the slot) so the
+    /// model tests can prove the checker catches the original ABA bug.
+    #[cfg(cuckoo_model)]
+    aba_mutation: bool,
 }
 
 impl<V: Plain> ClockCache<V> {
@@ -131,6 +136,8 @@ impl<V: Plain> ClockCache<V> {
             updates: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
+            #[cfg(cuckoo_model)]
+            aba_mutation: false,
         }
     }
 
@@ -302,6 +309,10 @@ impl<V: Plain> ClockCache<V> {
     /// two live entries end up sharing one slot (caught by the churn
     /// test as `len() > capacity`).
     pub fn delete(&self, key: u64) -> Option<V> {
+        #[cfg(cuckoo_model)]
+        if self.aba_mutation {
+            return self.delete_aba_buggy(key);
+        }
         loop {
             let (slot, _) = self.map.get(&key)?;
             let si = slot as usize;
@@ -335,11 +346,68 @@ impl<V: Plain> ClockCache<V> {
         }
     }
 
+    /// The pre-PR 1 delete: removes the map entry *first* and only then
+    /// frees the slot, without claiming it `USED → EVICTING`. Between
+    /// those two steps the CLOCK hand can observe the orphaned USED
+    /// slot, fail its `remove_if`, and reclaim the slot itself — after
+    /// which our own `release_slot` frees it a second time. Kept (model
+    /// builds only, behind [`Self::enable_aba_mutation`]) as the seeded
+    /// bug that proves the model checker catches this class of race.
+    #[cfg(cuckoo_model)]
+    fn delete_aba_buggy(&self, key: u64) -> Option<V> {
+        let (slot, v) = self.map.remove(&key)?;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.release_slot(slot);
+        Some(v)
+    }
+
+    /// Model-only: arms [`Self::delete`] with the pre-fix ABA ordering.
+    #[cfg(cuckoo_model)]
+    pub fn enable_aba_mutation(&mut self) {
+        self.aba_mutation = true;
+    }
+
+    /// Model-only: one CLOCK sweep, exactly as eviction pressure would
+    /// drive it, without needing `capacity` puts to drain the freelist.
+    #[cfg(cuckoo_model)]
+    pub fn force_evict_one(&self) {
+        self.evict_one();
+    }
+
+    /// Model-only: clears every recency bit, as a full CLOCK revolution
+    /// would — so the next sweep evicts on first encounter instead of
+    /// needing the (schedule-deep) second-chance revolution.
+    #[cfg(cuckoo_model)]
+    pub fn force_clear_recency(&self) {
+        for r in self.recency.iter() {
+            r.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Model-only invariant check: every freelist slot is FREE and
+    /// appears exactly once (a duplicate means a slot was double-freed).
+    #[cfg(cuckoo_model)]
+    pub fn check_slab_invariants(&self) {
+        let free = self.free.lock().expect("freelist mutex poisoned");
+        let mut seen = std::collections::HashSet::new();
+        for &slot in free.iter() {
+            assert!(
+                seen.insert(slot),
+                "slot {slot} on the freelist twice (double free)"
+            );
+            assert_eq!(
+                self.state[slot as usize].load(Ordering::SeqCst),
+                FREE,
+                "freelist slot {slot} not in FREE state"
+            );
+        }
+    }
+
     /// Pops a free slot (in SETUP state, invisible to the hand), evicting
     /// until one is available.
     fn alloc_slot(&self) -> u32 {
         loop {
-            if let Some(slot) = self.free.lock().unwrap().pop() {
+            if let Some(slot) = self.free.lock().expect("freelist mutex poisoned").pop() {
                 let prev = self.state[slot as usize].swap(SETUP, Ordering::AcqRel);
                 debug_assert_eq!(prev, FREE);
                 return slot;
@@ -352,7 +420,7 @@ impl<V: Plain> ClockCache<V> {
     /// EVICTING).
     fn release_slot(&self, slot: u32) {
         self.state[slot as usize].store(FREE, Ordering::Release);
-        self.free.lock().unwrap().push(slot);
+        self.free.lock().expect("freelist mutex poisoned").push(slot);
     }
 
     /// Gives up a SETUP slot we own (the hand cannot see SETUP slots, so
@@ -360,7 +428,7 @@ impl<V: Plain> ClockCache<V> {
     fn abandon_slot(&self, slot: u32) {
         let prev = self.state[slot as usize].swap(FREE, Ordering::AcqRel);
         debug_assert_eq!(prev, SETUP);
-        self.free.lock().unwrap().push(slot);
+        self.free.lock().expect("freelist mutex poisoned").push(slot);
     }
 
     /// One CLOCK sweep step that frees exactly one slot (or discovers

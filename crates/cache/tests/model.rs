@@ -1,0 +1,117 @@
+//! Model-checking tests for the ClockCache slot lifecycle (build with
+//! `RUSTFLAGS="--cfg cuckoo_model"`).
+//!
+//! The centerpiece is the PR 1 delete/evict ABA bug: `delete` originally
+//! removed the map entry *before* claiming the slot, letting the CLOCK
+//! hand reclaim the orphaned slot concurrently — a double free. The bug
+//! is kept behind [`ClockCache::enable_aba_mutation`] precisely so these
+//! tests can prove the checker finds it (and replays it from a seed),
+//! while the shipped ordering passes the same exploration.
+#![cfg(cuckoo_model)]
+
+use cache::ClockCache;
+use std::sync::Arc;
+
+const EXPLORATION_SEED: u64 = 0xc10c_aba0;
+const SCHEDULES: usize = 800;
+
+/// delete(key) racing one CLOCK sweep over a singleton cache: the
+/// scenario in which the PR 1 bug double-frees the slot.
+fn delete_vs_hand_sweep(mutated: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let mut cache: ClockCache<u64> = ClockCache::new(8);
+        if mutated {
+            cache.enable_aba_mutation();
+        }
+        let cache = Arc::new(cache);
+        cache.put(1, 11);
+        // As if the hand had already swept once: next encounter evicts
+        // instead of granting a second chance (keeps schedules shallow).
+        cache.force_clear_recency();
+
+        let deleter = {
+            let cache = Arc::clone(&cache);
+            loom::thread::spawn(move || {
+                cache.delete(1);
+            })
+        };
+        let hand = {
+            let cache = Arc::clone(&cache);
+            loom::thread::spawn(move || {
+                cache.force_evict_one();
+            })
+        };
+        deleter.join().unwrap();
+        hand.join().unwrap();
+        // The key is gone either way; the slab must be consistent:
+        // no slot on the freelist twice, no non-FREE slot on it.
+        assert_eq!(cache.get(1), None);
+        cache.check_slab_invariants();
+    }
+}
+
+/// Acceptance criterion: with the ABA mutation armed, bounded
+/// exploration must deterministically reproduce the PR 1 race and
+/// report a replayable seed.
+#[test]
+fn aba_mutation_is_caught_with_replayable_seed() {
+    let failure = loom::explore(
+        loom::Config::random(EXPLORATION_SEED, SCHEDULES),
+        delete_vs_hand_sweep(true),
+    )
+    .expect_err("the pre-fix delete ordering must double-free in some schedule");
+    assert!(
+        failure.message.contains("freelist twice"),
+        "expected the double-free invariant, got: {}",
+        failure.message
+    );
+    let seed = failure.seed.expect("random-walk failures carry a seed");
+    println!("ClockCache ABA reproduced; replay with LOOM_SEED={seed}");
+
+    // The reported seed replays the failure deterministically.
+    let replayed = loom::explore(
+        loom::Config {
+            strategy: loom::Strategy::Replay { seed },
+            max_schedules: 1,
+            ..loom::Config::default()
+        },
+        delete_vs_hand_sweep(true),
+    )
+    .expect_err("replaying the reported seed must reproduce the failure");
+    assert_eq!(replayed.seed, Some(seed));
+    assert!(replayed.message.contains("freelist twice"));
+}
+
+/// The shipped ordering (claim `USED → EVICTING` before removing the map
+/// entry) survives the identical exploration.
+#[test]
+fn fixed_delete_ordering_passes_same_exploration() {
+    loom::explore(
+        loom::Config::random(EXPLORATION_SEED, SCHEDULES),
+        delete_vs_hand_sweep(false),
+    )
+    .expect("the fixed delete ordering must survive every explored schedule");
+}
+
+/// Delete racing delete of the same key: exactly one wins, the slab
+/// stays consistent.
+#[test]
+fn concurrent_deletes_free_once() {
+    loom::model_with(loom::Config::random(0xdede_0001, 300), || {
+        let cache: Arc<ClockCache<u64>> = Arc::new(ClockCache::new(8));
+        cache.put(1, 11);
+        let t: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                loom::thread::spawn(move || cache.delete(1))
+            })
+            .collect();
+        let wins = t
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|r| r.is_some())
+            .count();
+        assert_eq!(wins, 1, "exactly one delete must win");
+        cache.check_slab_invariants();
+    });
+}

@@ -26,7 +26,7 @@
 
 use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU16, AtomicU64, AtomicU8, Ordering};
+use crate::sync2::atomic::{AtomicU16, AtomicU64, AtomicU8, Ordering};
 
 /// Maximum supported set-associativity (occupancy bitmap is 16 bits).
 pub const MAX_WAYS: usize = 16;

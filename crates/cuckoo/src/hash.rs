@@ -72,7 +72,7 @@ impl Hasher for FxHasher64 {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+            self.add(u64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte chunks")));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -189,7 +189,7 @@ impl Hasher for SipHasher13 {
 
         let mut chunks = input.chunks_exact(8);
         for c in &mut chunks {
-            self.compress(u64::from_le_bytes(c.try_into().unwrap()));
+            self.compress(u64::from_le_bytes(c.try_into().expect("chunks_exact(8) yields 8-byte chunks")));
         }
         for (i, &b) in chunks.remainder().iter().enumerate() {
             self.tail |= (b as u64) << (8 * i);

@@ -46,8 +46,8 @@ use crate::search::{self, bfs, PathEntry};
 use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sync2::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use crate::sync2::Mutex;
 
 /// How [`CuckooMap`] grows when a path search fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -517,6 +517,10 @@ where
         if self.help_tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(HELP_SWEEP_INTERVAL) {
             self.help_sweep(mig, m, 1);
         }
+        // SAFETY: the caller is pinned and `mig` was loaded from
+        // `self.migration` under that pin, so the new table it points to
+        // cannot be reclaimed before the returned borrow ends (epoch
+        // ordering argument: DESIGN.md §5d).
         Some((unsafe { &*mig.new }, m))
     }
 
@@ -548,7 +552,7 @@ where
         let graveyard: usize = self
             .graveyard
             .lock()
-            .unwrap()
+            .expect("graveyard mutex poisoned: a drain panicked mid-free")
             .iter()
             .map(|r| r.memory_bytes())
             .sum();
@@ -569,7 +573,12 @@ where
     /// Frees retired allocations unconditionally. Callers must guarantee
     /// no concurrent operations are in flight (hence `&mut self`).
     pub fn purge_retired(&mut self) {
-        self.graveyard.get_mut().unwrap().clear();
+        // `&mut self` proves no guard is live, so poison is the only
+        // possible error; the retired tables are freed either way.
+        self.graveyard
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// Visits every entry under the full-table lock.
@@ -593,7 +602,7 @@ where
     fn lock_all_quiesced(&self) -> crate::sync::AllGuard<'_> {
         loop {
             while self.help_migrate(usize::MAX) {
-                std::thread::yield_now();
+                crate::sync2::thread::yield_now();
             }
             let g = self.stripes.lock_all();
             if self.migration.load(Ordering::SeqCst).is_null() {
@@ -870,7 +879,7 @@ where
     /// no longer current.
     fn begin_migration(&self, seen: &RawTable<K, V, B>) {
         self.try_drain_graveyard();
-        let _lk = self.resize_lock.lock().unwrap();
+        let _lk = self.resize_lock.lock().expect("resize_lock poisoned: an expansion panicked mid-flight");
         if !self.migration.load(Ordering::SeqCst).is_null() {
             return; // a migration is already in flight
         }
@@ -891,6 +900,16 @@ where
             next_hint: AtomicUsize::new(0),
         });
         self.migration.store(Box::into_raw(desc), Ordering::SeqCst);
+    }
+
+    /// Model-only: starts an incremental migration immediately, exactly
+    /// as load-factor pressure would, so model tests can explore
+    /// lookup-vs-migration interleavings without the ~thousand inserts
+    /// needed to trip the organic trigger.
+    #[cfg(cuckoo_model)]
+    pub fn force_migration(&self) {
+        let _pin = self.epochs.pin();
+        self.begin_migration(self.current());
     }
 
     /// Migrates (or waits out) the chunks covering old-table buckets
@@ -1004,8 +1023,9 @@ where
         m: *mut Migration<K, V, B>,
         chunk: usize,
     ) -> bool {
-        // SAFETY (for all raw derefs below): callers are pinned and own
-        // the chunk, so both tables are live.
+        // SAFETY: (both derefs) callers are pinned and own the chunk, so
+        // both tables are live (epoch + chunk-state ordering argument:
+        // DESIGN.md §5d).
         let old = unsafe { &*mig.old };
         let new = unsafe { &*mig.new };
         let lo = chunk * MIGRATION_CHUNK;
@@ -1107,7 +1127,7 @@ where
     /// transition that still sees `m` live wins.
     fn finalize_migration(&self, m: *mut Migration<K, V, B>) {
         {
-            let _lk = self.resize_lock.lock().unwrap();
+            let _lk = self.resize_lock.lock().expect("resize_lock poisoned: an expansion panicked mid-flight");
             if self.migration.load(Ordering::SeqCst) != m {
                 return; // an emergency rebuild beat us to it
             }
@@ -1140,7 +1160,7 @@ where
     /// the migration. The pause is proportional to table size, but this
     /// only triggers when a doubling was insufficient mid-flight.
     fn emergency_rebuild(&self, m: *mut Migration<K, V, B>) {
-        let _lk = self.resize_lock.lock().unwrap();
+        let _lk = self.resize_lock.lock().expect("resize_lock poisoned: an expansion panicked mid-flight");
         let all = self.stripes.lock_all();
         if self.migration.load(Ordering::SeqCst) != m {
             return; // finalized or already rebuilt by someone else
@@ -1191,7 +1211,7 @@ where
     /// has quiesced.
     fn retire<I: IntoIterator<Item = RetiredAlloc<K, V, B>>>(&self, allocs: I) {
         let epoch = self.epochs.retire_epoch();
-        let mut g = self.graveyard.lock().unwrap();
+        let mut g = self.graveyard.lock().expect("graveyard mutex poisoned: a drain panicked mid-free");
         g.extend(allocs.into_iter().map(|alloc| Retired { epoch, alloc }));
         if g.len() > GRAVEYARD_SOFT_CAP {
             let min = self.epochs.min_active();

@@ -11,13 +11,15 @@
 /// safe even for dangling pointers (the instruction is a hint).
 #[inline]
 pub fn prefetch_read<T>(ptr: *const T) {
-    #[cfg(target_arch = "x86_64")]
+    // Skipped under Miri: the interpreter has no cache to warm and its
+    // support for vendor intrinsics is incidental.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     // SAFETY: `prefetcht0` is a pure performance hint; it cannot fault on
     // any address and has no architectural side effects.
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
         let _ = ptr;
     }

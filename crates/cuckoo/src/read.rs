@@ -9,13 +9,95 @@
 //! *holes* backwards rather than items forwards (§4.2), a present key is
 //! never missing mid-displacement; at worst it is momentarily duplicated,
 //! which a reader resolves to either copy (both carry the same value).
+//!
+//! Retries are **bounded**: under a writer storm (a stripe whose version
+//! never stops moving) the optimistic loop abandons after
+//! [`MAX_OPTIMISTIC_RETRIES`] attempts and takes the stripe pair locks,
+//! which guarantees one consistent scan in bounded time instead of
+//! retrying forever. The model checker surfaced the unbounded loop: a
+//! schedule that always interleaves a version bump between `read_begin`
+//! and `read_validate` starves the reader permanently.
 
 use crate::hashing::KeySlots;
 use crate::raw::RawTable;
 use crate::sync::LockStripes;
 use htm::Plain;
 
-/// Optimistically reads `key`'s value.
+/// Optimistic validation attempts before falling back to the locked
+/// path. Failed validations are rare (a writer touched one of the two
+/// stripes mid-scan), and consecutive failures rarer still; 64 failures
+/// means sustained writer pressure on this stripe pair, at which point
+/// queueing on the lock is both faster and fair.
+const MAX_OPTIMISTIC_RETRIES: u32 = 64;
+
+/// Scans both candidate buckets for `key`, returning the value copy.
+///
+/// The copies are racy; the caller makes them trustworthy either by
+/// validating stripe stamps around the call (optimistic path) or by
+/// holding the stripe pair locks across it (fallback path).
+fn scan_value<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    ks: KeySlots,
+    key: &K,
+) -> Option<V>
+where
+    K: Plain + Eq,
+    V: Plain,
+{
+    for bucket_idx in [ks.i1, ks.i2] {
+        let m = raw.meta(bucket_idx);
+        // SWAR: all candidate slots (tag match AND occupied) in two loads.
+        let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
+        while cand != 0 {
+            let slot = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            // SAFETY: `slot < B` (from the B-bit candidate mask); the
+            // copy may be torn, and the caller discards it unless the
+            // stamps validate / the pair lock was held (seqlock ordering
+            // argument: DESIGN.md §5d).
+            let k = unsafe { raw.read_key_racy(bucket_idx, slot) };
+            if k == *key {
+                // SAFETY: as above.
+                return Some(unsafe { raw.read_val_racy(bucket_idx, slot) });
+            }
+        }
+        if ks.i2 == ks.i1 {
+            break;
+        }
+    }
+    None
+}
+
+/// Presence-only variant of [`scan_value`] (no value copy).
+fn scan_present<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    ks: KeySlots,
+    key: &K,
+) -> bool
+where
+    K: Plain + Eq,
+{
+    for bucket_idx in [ks.i1, ks.i2] {
+        let m = raw.meta(bucket_idx);
+        let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
+        while cand != 0 {
+            let slot = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            // SAFETY: `slot < B`; racy copy, validated or locked by the
+            // caller as in [`scan_value`].
+            if unsafe { raw.read_key_racy(bucket_idx, slot) } == *key {
+                return true;
+            }
+        }
+        if ks.i2 == ks.i1 {
+            break;
+        }
+    }
+    false
+}
+
+/// Optimistically reads `key`'s value, falling back to the stripe locks
+/// after [`MAX_OPTIMISTIC_RETRIES`] failed validations.
 pub(crate) fn get<K, V, const B: usize>(
     raw: &RawTable<K, V, B>,
     stripes: &LockStripes,
@@ -26,18 +108,20 @@ where
     K: Plain + Eq,
     V: Plain,
 {
-    let mut watchdog = 0u64;
     let mut spins = 0u32;
-    loop {
+    for _ in 0..MAX_OPTIMISTIC_RETRIES {
         if let Some(result) = try_get(raw, stripes, ks, key) {
             return result;
         }
         // A failed validation means a writer holds (or bumped) a stripe;
         // hammering the version counters only slows that writer down.
         crate::sync::backoff(&mut spins);
-        watchdog += 1;
-        debug_assert!(watchdog < 100_000_000, "optimistic get starved: ks={ks:?}");
     }
+    // Writer storm on this stripe pair: take the locks. Writers mutating
+    // these buckets hold the same pair, so the scan below is consistent
+    // and the racy copies cannot tear.
+    let _g = stripes.lock_pair(ks.i1, ks.i2);
+    scan_value(raw, ks, key)
 }
 
 /// One validated attempt; `None` means a writer interfered — retry.
@@ -58,27 +142,7 @@ where
     let st1 = s1.read_begin();
     let st2 = if same_stripe { st1 } else { s2.read_begin() };
 
-    let mut found: Option<V> = None;
-    'scan: for bucket_idx in [ks.i1, ks.i2] {
-        let m = raw.meta(bucket_idx);
-        // SWAR: all candidate slots (tag match AND occupied) in two loads.
-        let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
-        while cand != 0 {
-            let slot = cand.trailing_zeros() as usize;
-            cand &= cand - 1;
-            // SAFETY: `slot < B`; racy copies are discarded unless the
-            // stamps validate below.
-            let k = unsafe { raw.read_key_racy(bucket_idx, slot) };
-            if k == *key {
-                // SAFETY: as above.
-                found = Some(unsafe { raw.read_val_racy(bucket_idx, slot) });
-                break 'scan;
-            }
-        }
-        if ks.i2 == ks.i1 {
-            break;
-        }
-    }
+    let found = scan_value(raw, ks, key);
 
     let valid = s1.read_validate(st1) && (same_stripe || s2.read_validate(st2));
     if valid {
@@ -88,7 +152,8 @@ where
     }
 }
 
-/// Optimistically checks for `key`'s presence (a value-copy-free `get`).
+/// Optimistically checks for `key`'s presence (a value-copy-free `get`),
+/// with the same bounded-retry locked fallback as [`get`].
 pub(crate) fn contains<K, V, const B: usize>(
     raw: &RawTable<K, V, B>,
     stripes: &LockStripes,
@@ -98,43 +163,23 @@ pub(crate) fn contains<K, V, const B: usize>(
 where
     K: Plain + Eq,
 {
-    let mut watchdog = 0u64;
     let mut spins = 0u32;
-    loop {
+    for _ in 0..MAX_OPTIMISTIC_RETRIES {
         let s1 = stripes.stripe(ks.i1);
         let s2 = stripes.stripe(ks.i2);
         let same_stripe = stripes.stripe_of(ks.i1) == stripes.stripe_of(ks.i2);
         let st1 = s1.read_begin();
         let st2 = if same_stripe { st1 } else { s2.read_begin() };
 
-        let mut found = false;
-        'scan: for bucket_idx in [ks.i1, ks.i2] {
-            let m = raw.meta(bucket_idx);
-            let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
-            while cand != 0 {
-                let slot = cand.trailing_zeros() as usize;
-                cand &= cand - 1;
-                // SAFETY: `slot < B`; validated below.
-                if unsafe { raw.read_key_racy(bucket_idx, slot) } == *key {
-                    found = true;
-                    break 'scan;
-                }
-            }
-            if ks.i2 == ks.i1 {
-                break;
-            }
-        }
+        let found = scan_present(raw, ks, key);
 
         if s1.read_validate(st1) && (same_stripe || s2.read_validate(st2)) {
             return found;
         }
         crate::sync::backoff(&mut spins);
-        watchdog += 1;
-        debug_assert!(
-            watchdog < 100_000_000,
-            "optimistic contains starved: ks={ks:?}"
-        );
     }
+    let _g = stripes.lock_pair(ks.i1, ks.i2);
+    scan_present(raw, ks, key)
 }
 
 #[cfg(test)]
@@ -182,6 +227,43 @@ mod tests {
         assert!(!contains(&raw, &stripes, ks, &123u64));
         let ks999 = KeySlots { ..ks };
         assert_eq!(get(&raw, &stripes, ks999, &999u64), Some(7));
+    }
+
+    /// The bounded-retry fallback must return correct results when every
+    /// optimistic attempt fails: pre-bump a stripe to look permanently
+    /// unstable (odd version = writer active) and verify the reader
+    /// still terminates with the right answer via the locked path.
+    #[test]
+    fn locked_fallback_terminates_under_permanent_instability() {
+        let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(4096);
+        let stripes = LockStripes::new(16);
+        let hb = RandomState::with_seed(11);
+        let key = 42u64;
+        let ks = key_slots(&hb, &key, raw.mask());
+        {
+            let _g = stripes.lock_pair(ks.i1, ks.i2);
+            // SAFETY: pair lock held.
+            unsafe { raw.write_entry_racy(ks.i1, 0, ks.tag, key, 777u64) };
+        }
+        // A writer that locks/unlocks the stripe in a tight loop while
+        // the reader runs: optimistic validation keeps failing, so the
+        // reader must reach the fallback rather than spin forever.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stop = &stop;
+        let stripes = &stripes;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let _g = stripes.lock_pair(ks.i1, ks.i1);
+                }
+            });
+            for _ in 0..200 {
+                assert_eq!(get(&raw, stripes, ks, &key), Some(777));
+                assert!(contains(&raw, stripes, ks, &key));
+                assert_eq!(get(&raw, stripes, ks, &(key + 1)), None);
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        });
     }
 
     #[test]

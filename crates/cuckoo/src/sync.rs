@@ -33,7 +33,7 @@
 //!   retirement epoch (so no in-flight lock-free search can still hold
 //!   the pointer).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync2::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of lock stripes the paper's implementation uses by default.
 pub const DEFAULT_STRIPES: usize = 2048;
@@ -65,10 +65,19 @@ impl VersionLock {
     }
 
     /// The raw atomic word (used by transactional execution to register
-    /// the stripe as a seqlock publication word).
+    /// the stripe as a seqlock publication word). Always the `std`
+    /// atomic: the htm subsystem is outside the model checker's scope,
+    /// so under `cfg(cuckoo_model)` this unwraps the instrumented word.
     #[inline]
-    pub fn word(&self) -> &AtomicU64 {
-        &self.word
+    pub fn word(&self) -> &std::sync::atomic::AtomicU64 {
+        #[cfg(not(cuckoo_model))]
+        {
+            &self.word
+        }
+        #[cfg(cuckoo_model)]
+        {
+            self.word.as_std()
+        }
     }
 
     /// Attempts to acquire the writer lock once.
@@ -140,6 +149,9 @@ impl VersionLock {
 
     /// Ends an optimistic read: `true` when no writer was active since the
     /// matching [`VersionLock::read_begin`].
+    ///
+    /// The fence orders the caller's racy data reads before the
+    /// validating load — see DESIGN.md §5d for the pairing argument.
     #[inline]
     pub fn read_validate(&self, stamp: ReadStamp) -> bool {
         std::sync::atomic::fence(Ordering::Acquire);
@@ -165,10 +177,118 @@ impl Default for VersionLock {
 #[inline]
 pub(crate) fn backoff(spins: &mut u32) {
     if *spins < 64 {
-        std::hint::spin_loop();
+        crate::sync2::hint::spin_loop();
         *spins += 1;
     } else {
-        std::thread::yield_now();
+        crate::sync2::thread::yield_now();
+    }
+}
+
+/// Dynamic lock-order auditor (debug builds only).
+///
+/// Deadlock freedom of the striped locking rests on two disciplines that
+/// the type system cannot express:
+///
+/// 1. **Ascending stripe order** — every multi-stripe acquisition
+///    ([`LockStripes::lock_pair`], [`LockStripes::lock_multi`],
+///    [`LockStripes::lock_all`]) takes stripes of one table in strictly
+///    increasing index order, and no thread starts a new acquisition at
+///    an index at or below one it already holds in that table.
+/// 2. **Pin before lock** — a thread must not establish an epoch pin
+///    ([`EpochRegistry::pin`]) while holding stripe locks: a pinned
+///    thread blocked on a stripe would pin the reclamation epoch in
+///    place, so garbage retired by the lock holder could never drain
+///    (and any future wait-for-quiesce while holding locks would
+///    deadlock outright).
+///
+/// The auditor tracks held stripes per thread and panics the moment
+/// either rule is broken, which turns "deadlocks under the right
+/// interleaving" into a deterministic failure in any debug run
+/// (including every schedule the model checker explores).
+#[cfg(debug_assertions)]
+mod audit {
+    use std::cell::RefCell;
+
+    /// Sentinel recorded while a whole-table [`super::AllGuard`] is held.
+    const ALL: usize = usize::MAX;
+
+    thread_local! {
+        /// Stripes this thread holds, as (table identity, stripe index).
+        static HELD: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquiring(table: usize, stripe: usize) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            for &(t, s) in h.iter() {
+                if t != table {
+                    continue;
+                }
+                assert!(
+                    s != ALL,
+                    "lock-order violation: acquiring stripe {stripe} while \
+                     holding ALL stripes of the same table (self-deadlock)"
+                );
+                assert!(
+                    s != stripe,
+                    "lock-order violation: re-acquiring held stripe {stripe} \
+                     (self-deadlock)"
+                );
+                assert!(
+                    s < stripe,
+                    "lock-order violation: acquiring stripe {stripe} while \
+                     holding stripe {s} of the same table (descending order \
+                     can deadlock against a concurrent ascending acquirer)"
+                );
+            }
+            h.push((table, stripe));
+        });
+    }
+
+    pub(super) fn acquiring_all(table: usize) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            assert!(
+                !h.iter().any(|&(t, _)| t == table),
+                "lock-order violation: lock_all while already holding \
+                 stripes of the same table (self-deadlock)"
+            );
+            h.push((table, ALL));
+        });
+    }
+
+    pub(super) fn released(table: usize, stripe: usize) {
+        released_entry(table, stripe);
+    }
+
+    pub(super) fn released_all(table: usize) {
+        released_entry(table, ALL);
+    }
+
+    fn released_entry(table: usize, stripe: usize) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            let pos = h
+                .iter()
+                .rposition(|&e| e == (table, stripe))
+                .expect("released a stripe the auditor never saw acquired");
+            h.remove(pos);
+        });
+    }
+
+    /// [`super::EpochRegistry::pin`] calls this: pinning with stripe
+    /// locks held is the lock/pin inversion described above.
+    pub(super) fn assert_pin_allowed() {
+        HELD.with(|h| {
+            let h = h.borrow();
+            assert!(
+                h.is_empty(),
+                "epoch pin while holding stripe locks {:?}: pin must be \
+                 established before any stripe acquisition (lock/pin \
+                 inversion stalls reclamation)",
+                &*h
+            );
+        });
     }
 }
 
@@ -217,6 +337,14 @@ impl LockStripes {
         bucket & self.mask
     }
 
+    /// Table identity for the lock-order auditor (address-based: stripe
+    /// indices only order within one table).
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn audit_id(&self) -> usize {
+        self as *const LockStripes as usize
+    }
+
     /// The stripe lock covering bucket `bucket`.
     #[inline]
     pub fn stripe(&self, bucket: usize) -> &VersionLock {
@@ -229,8 +357,12 @@ impl LockStripes {
     pub fn lock_pair(&self, b1: usize, b2: usize) -> PairGuard<'_> {
         let (s1, s2) = (self.stripe_of(b1), self.stripe_of(b2));
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        #[cfg(debug_assertions)]
+        audit::acquiring(self.audit_id(), lo);
         self.stripes[lo].0.lock();
         if hi != lo {
+            #[cfg(debug_assertions)]
+            audit::acquiring(self.audit_id(), hi);
             self.stripes[hi].0.lock();
         }
         PairGuard {
@@ -244,6 +376,8 @@ impl LockStripes {
     /// lock. Expensive; used for resizing, whole-table iteration, and as
     /// the livelock escape hatch.
     pub fn lock_all(&self) -> AllGuard<'_> {
+        #[cfg(debug_assertions)]
+        audit::acquiring_all(self.audit_id());
         for s in self.stripes.iter() {
             s.0.lock();
         }
@@ -268,6 +402,8 @@ impl LockStripes {
             if n > 0 && held[n - 1] == idx {
                 continue; // shared stripe: lock once
             }
+            #[cfg(debug_assertions)]
+            audit::acquiring(self.audit_id(), idx);
             self.stripes[idx].0.lock();
             held[n] = idx;
             n += 1;
@@ -308,8 +444,12 @@ impl Drop for PairGuard<'_> {
     fn drop(&mut self) {
         if self.hi != self.lo {
             self.stripes.stripes[self.hi].0.unlock();
+            #[cfg(debug_assertions)]
+            audit::released(self.stripes.audit_id(), self.hi);
         }
         self.stripes.stripes[self.lo].0.unlock();
+        #[cfg(debug_assertions)]
+        audit::released(self.stripes.audit_id(), self.lo);
     }
 }
 
@@ -334,6 +474,8 @@ impl Drop for MultiGuard<'_> {
     fn drop(&mut self) {
         for &idx in self.held[..self.n].iter().rev() {
             self.stripes.stripes[idx].0.unlock();
+            #[cfg(debug_assertions)]
+            audit::released(self.stripes.audit_id(), idx);
         }
     }
 }
@@ -349,6 +491,8 @@ impl Drop for AllGuard<'_> {
         for s in self.stripes.stripes.iter().rev() {
             s.0.unlock();
         }
+        #[cfg(debug_assertions)]
+        audit::released_all(self.stripes.audit_id());
     }
 }
 
@@ -445,6 +589,8 @@ impl EpochRegistry {
     /// Must be held for the whole window in which a pointer loaded from
     /// shared state is dereferenced.
     pub fn pin(&self) -> EpochGuard<'_> {
+        #[cfg(debug_assertions)]
+        audit::assert_pin_allowed();
         thread_local! {
             static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
         }
@@ -736,6 +882,60 @@ mod tests {
         drop(g1);
         drop(g2);
         assert_eq!(r.min_active(), u64::MAX);
+    }
+
+    /// Deterministic ordering probe: `lock_pair` must sort its stripes,
+    /// so descending arguments still acquire ascending. The CI mutation
+    /// smoke test breaks the sort and expects the auditor to fail this.
+    #[test]
+    fn lock_pair_sorts_descending_arguments() {
+        let stripes = LockStripes::new(8);
+        let g = stripes.lock_pair(7, 3);
+        assert!(g.covers(7) && g.covers(3));
+        drop(g);
+        let g = stripes.lock_multi([6, 1, 4]);
+        drop(g);
+        let _all = stripes.lock_all();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn auditor_rejects_descending_nested_acquisition() {
+        let stripes = LockStripes::new(8);
+        let _outer = stripes.lock_pair(5, 5);
+        let _inner = stripes.lock_pair(3, 3); // 3 < 5: would deadlock
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn auditor_rejects_lock_all_under_held_stripe() {
+        let stripes = LockStripes::new(8);
+        let _outer = stripes.lock_pair(2, 2);
+        let _all = stripes.lock_all(); // would self-deadlock on stripe 2
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "epoch pin while holding stripe locks")]
+    fn auditor_rejects_pin_while_holding_stripe() {
+        let stripes = LockStripes::new(8);
+        let r = EpochRegistry::new();
+        let _g = stripes.lock_pair(1, 2);
+        let _pin = r.pin(); // lock/pin inversion
+    }
+
+    /// Two tables have independent stripe orders: interleaved
+    /// acquisition across tables is legitimate (migration holds the
+    /// map's stripes only, but keep the auditor honest about scoping).
+    #[cfg(debug_assertions)]
+    #[test]
+    fn auditor_scopes_order_per_table() {
+        let a = LockStripes::new(8);
+        let b = LockStripes::new(8);
+        let _ga = a.lock_pair(6, 6);
+        let _gb = b.lock_pair(2, 2); // 2 < 6 but a different table
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Deterministic model-checking tests (build with `RUSTFLAGS="--cfg
+//! cuckoo_model"`).
+//!
+//! Each test explores thread interleavings of the *real* table code: the
+//! `sync2` facade swaps this crate's atomics/locks for the instrumented
+//! `shims/loom` versions, and `loom::explore` serializes the threads
+//! through every (bounded) schedule. Small protocol kernels get
+//! bounded DFS (deterministic, replayable by construction); whole-
+//! structure tests get seeded random walks whose failures print a
+//! replayable `LOOM_SEED`.
+//!
+//! DFS budgets are deliberately modest: two threads with ~15
+//! instrumented operations each have a combinatorially large
+//! interleaving space, so exhaustion is not a meaningful target —
+//! determinism and schedule *diversity* are. Budgets are sized to keep
+//! the whole suite in CI-friendly single-digit seconds.
+#![cfg(cuckoo_model)]
+
+use cuckoo::sync::{EpochRegistry, LockStripes, VersionLock};
+use cuckoo::{CuckooMap, OptimisticCuckooMap};
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The central §4.2 invariant: a torn value can never escape seqlock
+/// validation. A writer mutates a two-word value under a [`VersionLock`]
+/// while a reader copies it racily (chunk by chunk, with a scheduling
+/// point between chunks); every schedule in which the reader's stamps
+/// validate must have delivered an untorn copy. Bounded DFS.
+#[test]
+fn seqlock_validation_blocks_torn_reads() {
+    loom::explore(loom::Config::dfs(4_000), || {
+        // Two 8-byte words the writer always keeps equal.
+        let buf = Arc::new(Box::new([0u64; 2]));
+        let addr = buf.as_ptr() as usize;
+        let lock = Arc::new(VersionLock::new());
+
+        let writer = {
+            let (buf, lock) = (Arc::clone(&buf), Arc::clone(&lock));
+            loom::thread::spawn(move || {
+                lock.lock();
+                let v = [7u64, 7u64];
+                // SAFETY: `buf` outlives both threads (Arc) and the
+                // writer lock excludes other writers.
+                unsafe {
+                    htm::mem::store_bytes(buf.as_ptr() as usize, v.as_ptr().cast(), 16);
+                }
+                lock.unlock();
+            })
+        };
+        let reader = {
+            let lock = Arc::clone(&lock);
+            loom::thread::spawn(move || {
+                let stamp = lock.read_begin();
+                let mut out = [0u64; 2];
+                // SAFETY: the source is live (Arc'd by the closure via
+                // `addr`'s owner) and tearing is validated away below.
+                unsafe { htm::mem::load_bytes(addr, out.as_mut_ptr().cast(), 16) };
+                if lock.read_validate(stamp) {
+                    assert_eq!(out[0], out[1], "torn read escaped seqlock validation");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        drop(buf);
+    })
+    .expect("no schedule may leak a torn read through validation");
+}
+
+/// Epoch reclamation kernel: an object may be freed only after every
+/// reader pinned before its retirement has unpinned. The "object" is one
+/// atomic word; freeing writes POISON. A reader that (a) pins and (b)
+/// still observes the object published must never read POISON.
+/// Bounded DFS over the pin/retire/min_active protocol.
+#[test]
+fn epoch_reclamation_never_frees_under_pinned_reader() {
+    const POISON: u64 = u64::MAX;
+    loom::explore(loom::Config::dfs(4_000), || {
+        let reg = Arc::new(EpochRegistry::new());
+        let slot = Arc::new(AtomicU64::new(42));
+        let published = Arc::new(AtomicBool::new(true));
+
+        let reader = {
+            let (reg, slot, published) = (
+                Arc::clone(&reg),
+                Arc::clone(&slot),
+                Arc::clone(&published),
+            );
+            loom::thread::spawn(move || {
+                let _pin = reg.pin();
+                // Simulates following a pointer found in the structure:
+                // only dereference while pinned AND still published.
+                if published.load(Ordering::SeqCst) {
+                    let v = slot.load(Ordering::SeqCst);
+                    assert_ne!(v, POISON, "read a freed object while pinned");
+                }
+            })
+        };
+        let reclaimer = {
+            let (reg, slot, published) = (
+                Arc::clone(&reg),
+                Arc::clone(&slot),
+                Arc::clone(&published),
+            );
+            loom::thread::spawn(move || {
+                // Unlink, retire, then free only once quiesced — the
+                // same protocol as `CuckooMap::retire` + graveyard drain.
+                published.store(false, Ordering::SeqCst);
+                let epoch = reg.retire_epoch();
+                if reg.min_active() > epoch {
+                    slot.store(POISON, Ordering::SeqCst);
+                }
+            })
+        };
+        reader.join().unwrap();
+        reclaimer.join().unwrap();
+    })
+    .expect("epoch protocol must never free under a pinned reader");
+}
+
+/// The lock-order auditor holds under the model too: ascending pair
+/// acquisitions from two threads cannot deadlock in any schedule (the
+/// deadlock detector would report it if the ordering were broken).
+#[test]
+fn ordered_pair_locking_is_deadlock_free_in_all_schedules() {
+    loom::explore(loom::Config::dfs(4_000), || {
+        let stripes = Arc::new(LockStripes::new(4));
+        let t: Vec<_> = [(0usize, 3usize), (3, 0)]
+            .into_iter()
+            .map(|(a, b)| {
+                let stripes = Arc::clone(&stripes);
+                loom::thread::spawn(move || {
+                    let _g = stripes.lock_pair(a, b);
+                })
+            })
+            .collect();
+        for h in t {
+            h.join().unwrap();
+        }
+    })
+    .expect("sorted pair acquisition must be deadlock-free");
+}
+
+/// Optimistic map: a reader racing a writer that deletes/reinserts the
+/// same key must see only complete values (both halves equal) or a clean
+/// miss — never a torn value and never a panic. Random walks over the
+/// real `OptimisticCuckooMap` code.
+#[test]
+fn optimistic_read_vs_delete_reinsert() {
+    loom::model_with(loom::Config::random(0x5eed_0001, 150), || {
+        let map: Arc<OptimisticCuckooMap<u64, [u64; 2], 8>> =
+            Arc::new(OptimisticCuckooMap::with_capacity(64));
+        map.insert(1, [10, 10]).unwrap();
+
+        let writer = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                map.remove(&1);
+                map.insert(1, [20, 20]).unwrap();
+            })
+        };
+        let reader = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                if let Some(v) = map.get(&1) {
+                    assert_eq!(v[0], v[1], "torn value escaped optimistic read");
+                    assert!(v[0] == 10 || v[0] == 20, "phantom value {v:?}");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(map.get(&1).map(|v| v[0]), Some(20));
+    });
+}
+
+/// Two-table lookup vs. chunk migration: while one thread drives the
+/// incremental migration (chunk claim → move → DONE watermark), a reader
+/// must find every pre-migration key with its exact value, whichever
+/// side of the watermark the key currently sits on.
+#[test]
+fn lookup_during_chunk_migration() {
+    loom::model_with(loom::Config::random(0x5eed_0002, 80), || {
+        let map: Arc<CuckooMap<u64, u64>> = Arc::new(CuckooMap::with_capacity(16));
+        for k in 0..4u64 {
+            map.insert(k, k * 10 + 1).unwrap();
+        }
+        map.force_migration();
+
+        let migrator = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                while map.help_migrate(usize::MAX) {}
+            })
+        };
+        let reader = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                for k in 0..4u64 {
+                    assert_eq!(
+                        map.get(&k),
+                        Some(k * 10 + 1),
+                        "key {k} lost or corrupted mid-migration"
+                    );
+                }
+            })
+        };
+        migrator.join().unwrap();
+        reader.join().unwrap();
+        for k in 0..4u64 {
+            assert_eq!(map.get(&k), Some(k * 10 + 1), "key {k} lost after migration");
+        }
+    });
+}
+
+/// PR 2 regression: `get_or_insert_with` racing a delete of the same key
+/// must return a value (the existing one or its own) and never panic —
+/// the pre-fix code `expect`ed the winner's value to still be present
+/// after losing an insert race, which a concurrent delete violates.
+#[test]
+fn get_or_insert_with_vs_concurrent_delete() {
+    loom::model_with(loom::Config::random(0x6075_u64, 150), || {
+        let map: Arc<CuckooMap<u64, u64>> = Arc::new(CuckooMap::with_capacity(16));
+        map.insert(7, 1).unwrap();
+
+        let inserter = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                let v = map.get_or_insert_with(7, || 2);
+                assert!(v == 1 || v == 2, "phantom value {v}");
+                v
+            })
+        };
+        let deleter = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                map.remove(&7);
+            })
+        };
+        inserter.join().unwrap();
+        deleter.join().unwrap();
+        // Whatever interleaved, the key maps to a real value or nothing.
+        if let Some(v) = map.get(&7) {
+            assert!(v == 1 || v == 2);
+        }
+    });
+}

@@ -94,6 +94,8 @@ impl Default for DirectCtx {
 }
 
 impl MemCtx for DirectCtx {
+    // SAFETY: caller contract is `MemCtx::load`'s (trait-level
+    // `# Safety`): `ptr` valid for reads of `T` for the call's duration.
     unsafe fn load<T: Plain>(&mut self, ptr: *const T) -> Result<T, Abort> {
         let size = std::mem::size_of::<T>();
         let mut value = std::mem::MaybeUninit::<T>::uninit();
@@ -118,6 +120,8 @@ impl MemCtx for DirectCtx {
         Ok(())
     }
 
+    // SAFETY: caller contract is `MemCtx::seq_write_begin`'s: `word`
+    // must stay valid until `finish`, which re-derefs its address.
     unsafe fn seq_write_begin(&mut self, word: &AtomicU64) -> Result<(), Abort> {
         let addr = word as *const AtomicU64 as usize;
         if !self.seq_words.contains(&addr) {
@@ -156,6 +160,8 @@ impl<'a, 't> TxCtx<'a, 't> {
 }
 
 impl MemCtx for TxCtx<'_, '_> {
+    // SAFETY: caller contract is `MemCtx::load`'s, forwarded verbatim
+    // to `Transaction::read`.
     unsafe fn load<T: Plain>(&mut self, ptr: *const T) -> Result<T, Abort> {
         // SAFETY: forwarded contract.
         unsafe { self.tx.read(ptr) }

@@ -109,6 +109,8 @@ pub enum ExecCtx<'a, 't> {
 }
 
 impl MemCtx for ExecCtx<'_, '_> {
+    // SAFETY: caller contract is `MemCtx::load`'s, forwarded verbatim
+    // to whichever mode is live.
     unsafe fn load<T: Plain>(&mut self, ptr: *const T) -> Result<T, Abort> {
         match self {
             // SAFETY: forwarded contract.

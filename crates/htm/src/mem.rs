@@ -10,6 +10,15 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
+/// Scheduling point between per-chunk copies under the model checker:
+/// tearing *is* the interesting behavior here, so each chunk boundary
+/// must be a place where the scheduler can interleave a writer.
+#[inline]
+fn model_yield() {
+    #[cfg(cuckoo_model)]
+    loom::yield_point();
+}
+
 /// Copies `len` bytes from `addr` into `dst` using relaxed atomic loads.
 ///
 /// # Safety
@@ -20,6 +29,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
     if addr.is_multiple_of(8) && len.is_multiple_of(8) && (dst as usize).is_multiple_of(8) {
         for i in 0..len / 8 {
+            model_yield();
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
             let v = unsafe { &*((addr + i * 8) as *const AtomicU64) }.load(Ordering::Relaxed);
             // SAFETY: `dst` is valid for `len` bytes and 8-aligned.
@@ -27,6 +37,7 @@ pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
         }
     } else {
         for i in 0..len {
+            model_yield();
             // SAFETY: in-bounds by the loop range; u8 has no alignment.
             let v = unsafe { &*((addr + i) as *const AtomicU8) }.load(Ordering::Relaxed);
             // SAFETY: `dst` is valid for `len` bytes.
@@ -46,6 +57,7 @@ pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
 pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
     if addr.is_multiple_of(8) && len.is_multiple_of(8) && (src as usize).is_multiple_of(8) {
         for i in 0..len / 8 {
+            model_yield();
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
             let v = unsafe { (src as *const u64).add(i).read() };
             // SAFETY: `addr` is valid for `len` bytes and 8-aligned.
@@ -53,6 +65,7 @@ pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
         }
     } else {
         for i in 0..len {
+            model_yield();
             // SAFETY: in-bounds by the loop range.
             let v = unsafe { src.add(i).read() };
             // SAFETY: `addr` is valid for `len` bytes; u8 has no alignment.

@@ -306,8 +306,8 @@ mod tests {
     #[test]
     fn distant_lines_do_not_conflict() {
         let d = HtmDomain::new();
-        let a = vec![1u64; 16]; // its own lines
-        let b = vec![2u64; 16];
+        let a = [1u64; 16]; // its own lines
+        let b = [2u64; 16];
         let r: Result<u64, Abort> = d.execute(|tx| {
             // SAFETY: vectors outlive the transaction.
             let x = unsafe { tx.read(a.as_ptr())? };

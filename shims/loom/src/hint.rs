@@ -1,0 +1,12 @@
+//! Model-aware `std::hint` subset.
+
+/// Busy-wait hint. Inside a model a spinning thread must not monopolize
+/// the (single) granted CPU, so this is a scheduling point; outside it is
+/// the real PAUSE hint.
+pub fn spin_loop() {
+    if crate::sched::with_current_shared(|_, _| ()).is_some() {
+        crate::sched::yield_point();
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,30 @@
+//! Tiny deterministic PRNG helpers: schedule choice needs speed and
+//! reproducibility, not statistical quality.
+
+/// xorshift64* — one `u64` of state, never zero.
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Zero is a fixed point of xorshift; remap it.
+        XorShift(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// splitmix64 finalizer over `base + i`: derives well-spread per-schedule
+/// seeds from one base seed so `LOOM_SEED=<reported>` replays exactly.
+pub(crate) fn split_mix(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

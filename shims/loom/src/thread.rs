@@ -1,0 +1,110 @@
+//! Model-aware `thread::spawn`/`JoinHandle`/`yield_now`.
+//!
+//! Inside a model, spawn registers a new model thread with the scheduler
+//! (it runs on a real OS thread but only when granted); outside a model
+//! everything passes straight through to `std::thread`.
+
+use crate::sched;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        shared: Arc<sched::Shared>,
+        target: usize,
+        slot: Slot<T>,
+    },
+}
+
+/// Handle to a spawned thread; `join` returns the closure's value.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish. Inside a model this is a
+    /// scheduling point that blocks the caller until the target's model
+    /// thread reaches `Finished`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Real(h) => h.join(),
+            Inner::Model {
+                shared,
+                target,
+                slot,
+            } => {
+                let id = sched::with_current_shared(|_, id| id)
+                    .expect("model JoinHandle joined from outside the model");
+                shared.join_thread(id, target);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(result) => result,
+                    // The target unwound via ModelAbort: the schedule is
+                    // being torn down, so unwind ourselves too.
+                    None => std::panic::panic_any(sched::ModelAbort),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns `f`; a model thread when called inside a model, a real
+/// `std::thread` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let model = sched::with_current_shared(|shared, _| Arc::clone(shared));
+    match model {
+        None => JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        },
+        Some(shared) => {
+            let slot: Slot<T> = Arc::new(Mutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let (target, _os_handle) = sched::spawn_model_thread(&shared, move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                match result {
+                    Ok(v) => {
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    }
+                    Err(payload) => {
+                        if !payload.is::<sched::ModelAbort>() {
+                            // Store a displayable error for join(), then
+                            // re-raise so the scheduler records the
+                            // failure even if the handle is never joined.
+                            let msg = sched::panic_message(payload.as_ref());
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) =
+                                Some(Err(Box::new(msg)));
+                        }
+                        resume_unwind(payload);
+                    }
+                }
+            });
+            // The OS handle detaches on drop; the scheduler's teardown
+            // waits for every model thread to reach Finished, so no
+            // thread outlives its schedule.
+            JoinHandle {
+                inner: Inner::Model {
+                    shared,
+                    target,
+                    slot,
+                },
+            }
+        }
+    }
+}
+
+/// A scheduling point inside a model; `std::thread::yield_now` otherwise.
+/// Spin-wait backoff loops route through this so a parked lock holder
+/// cannot starve the spinner forever under the model.
+pub fn yield_now() {
+    if sched::with_current_shared(|_, _| ()).is_some() {
+        sched::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
