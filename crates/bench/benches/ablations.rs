@@ -145,6 +145,7 @@ fn delete_vs_lookup() {
             threads: 4,
             ops_per_thread: per_thread / 4,
             miss_ratio: 0.0,
+            batch: 1,
         },
         (2, per_thread),
     );

@@ -28,6 +28,7 @@ fn run<const B: usize>() -> f64 {
             threads: THREADS,
             ops_per_thread: ops / THREADS as u64,
             miss_ratio: 0.0,
+            batch: 1,
         },
         (2, per_thread),
     )

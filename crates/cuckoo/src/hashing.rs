@@ -58,6 +58,27 @@ pub fn alt_index(index: usize, tag: u8, mask: usize) -> usize {
     index ^ ((tag as u64).wrapping_mul(TAG_MULT) as usize & mask)
 }
 
+/// Hashes `key` once. Operations that may probe more than one table
+/// (migration's two-table lookups) or retry (stale-table loops) hash
+/// with this and re-derive per-mask slots via [`slots_from_hash`]
+/// instead of paying the full hash on every attempt.
+#[inline]
+pub fn hash_of<K: Hash + ?Sized, S: BuildHasher>(hash_builder: &S, key: &K) -> u64 {
+    hash_builder.hash_one(key)
+}
+
+/// Derives both candidate buckets and the tag from an already-computed
+/// hash. Tag and primary index depend only on the hash; the alternate
+/// index additionally depends on the table's `mask`, so one hash serves
+/// any number of table sizes.
+#[inline]
+pub fn slots_from_hash(hash: u64, mask: usize) -> KeySlots {
+    let tag = tag_of(hash);
+    let i1 = index_of(hash, mask);
+    let i2 = alt_index(i1, tag, mask);
+    KeySlots { i1, i2, tag }
+}
+
 /// Computes both candidate buckets and the tag for `key`.
 #[inline]
 pub fn key_slots<K: Hash + ?Sized, S: BuildHasher>(
@@ -65,11 +86,7 @@ pub fn key_slots<K: Hash + ?Sized, S: BuildHasher>(
     key: &K,
     mask: usize,
 ) -> KeySlots {
-    let hash = hash_builder.hash_one(key);
-    let tag = tag_of(hash);
-    let i1 = index_of(hash, mask);
-    let i2 = alt_index(i1, tag, mask);
-    KeySlots { i1, i2, tag }
+    slots_from_hash(hash_of(hash_builder, key), mask)
 }
 
 #[cfg(test)]
@@ -125,6 +142,18 @@ mod tests {
         assert_ne!(ks.tag, 0);
         assert_eq!(alt_index(ks.i1, ks.tag, MASK), ks.i2);
         assert_eq!(alt_index(ks.i2, ks.tag, MASK), ks.i1);
+    }
+
+    #[test]
+    fn slots_from_hash_matches_key_slots_across_masks() {
+        let s = RandomState::with_seed(17);
+        for key in 0..500u64 {
+            let h = hash_of(&s, &key);
+            for shift in [8usize, 12, 16, 20] {
+                let mask = (1usize << shift) - 1;
+                assert_eq!(slots_from_hash(h, mask), key_slots(&s, &key, mask));
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@
 use crate::counter::ShardedCounter;
 use crate::error::{InsertError, UpsertOutcome};
 use crate::hash::DefaultHashBuilder;
-use crate::hashing::{key_slots, KeySlots};
+use crate::hashing::{hash_of, key_slots, slots_from_hash, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, PathEntry};
 use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
@@ -332,6 +332,15 @@ where
     /// ever move old → new, atomically under both tables' stripe locks.
     pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
         let _pin = self.epochs.pin();
+        // Hash exactly once: retries and the two-table migration path
+        // re-derive per-mask slots from this hash instead of rehashing.
+        let h = hash_of(&self.hash_builder, key);
+        self.get_with_hashed(h, key, f)
+    }
+
+    /// [`get_with`](Self::get_with) body, reusing an already-computed
+    /// hash. Caller must hold an epoch pin.
+    fn get_with_hashed<R>(&self, h: u64, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
         loop {
             let m = self.migration.load(Ordering::SeqCst);
             if !m.is_null() {
@@ -340,7 +349,7 @@ where
                 let mig = unsafe { &*m };
                 let old = unsafe { &*mig.old };
                 let new = unsafe { &*mig.new };
-                let ks_old = key_slots(&self.hash_builder, key, old.mask());
+                let ks_old = slots_from_hash(h, old.mask());
                 let both_done = mig.chunk_done(Migration::<K, V, B>::chunk_of(ks_old.i1))
                     && mig.chunk_done(Migration::<K, V, B>::chunk_of(ks_old.i2));
                 if !both_done {
@@ -356,7 +365,7 @@ where
                     // Miss in old: the entry is in new or absent, and can
                     // never move back, so checking new second is sound.
                 }
-                let ks = key_slots(&self.hash_builder, key, new.mask());
+                let ks = slots_from_hash(h, new.mask());
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
                 if !self.migration_still_targets(m) {
                     continue;
@@ -366,7 +375,7 @@ where
                     .map(|(bi, s)| f(unsafe { &*new.bucket(bi).val_ptr(s) }));
             }
             let raw = self.current();
-            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let ks = slots_from_hash(h, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
             if !self.table_is_stable(raw) {
                 continue; // expanded or migration began while locking
@@ -375,6 +384,101 @@ where
                 // SAFETY: pair lock held; the slot is occupied.
                 .map(|(bi, s)| f(unsafe { &*raw.bucket(bi).val_ptr(s) }));
         }
+    }
+
+    /// Batched lookup applying `f` to each found value under its bucket
+    /// lock: one result per key, in order (`None` = miss). Equivalent to
+    /// [`get_with`](Self::get_with) per key, but groups of
+    /// [`MULTIGET_GROUP`](crate::read::MULTIGET_GROUP) keys are
+    /// software-pipelined — all hashes computed up front, candidate
+    /// metadata then tag-hit data buckets prefetched — so the per-key
+    /// cache misses overlap before the (serializing) per-key lock
+    /// acquisitions. During an in-flight migration keys fall back to the
+    /// two-table single-key path individually.
+    pub fn get_with_many<R>(
+        &self,
+        keys: &[K],
+        mut f: impl FnMut(&V) -> R,
+    ) -> Vec<Option<R>> {
+        let _pin = self.epochs.pin();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut hashes = [0u64; crate::read::MULTIGET_GROUP];
+        let mut ks_buf = [KeySlots { i1: 0, i2: 0, tag: 1 }; crate::read::MULTIGET_GROUP];
+        for group in keys.chunks(crate::read::MULTIGET_GROUP) {
+            let raw = self.current();
+            let migrating = !self.migration.load(Ordering::SeqCst).is_null();
+            // Stage 1: hash every key; on the stable path also prefetch
+            // both candidate metadata words.
+            for (j, key) in group.iter().enumerate() {
+                let h = hash_of(&self.hash_builder, key);
+                hashes[j] = h;
+                if !migrating {
+                    let ks = slots_from_hash(h, raw.mask());
+                    ks_buf[j] = ks;
+                    raw.prefetch_meta(ks.i1);
+                    raw.prefetch_meta(ks.i2);
+                }
+            }
+            if migrating {
+                // Two-table lookups take locks per table anyway; the
+                // single-key path already orders those correctly.
+                for (j, key) in group.iter().enumerate() {
+                    out.push(self.get_with_hashed(hashes[j], key, &mut f));
+                }
+                continue;
+            }
+            // Stage 2: SWAR-probe the (warm) metadata and prefetch entry
+            // storage for buckets reporting a candidate. The masks are
+            // only prefetch hints — the stage-3 probe re-reads metadata
+            // under the pair lock — so racing writers cost at most a
+            // wasted hint.
+            for ks in ks_buf.iter().take(group.len()) {
+                let m1 = raw.meta(ks.i1);
+                if m1.match_tag_mask(ks.tag) & m1.occupied_mask() != 0 {
+                    raw.prefetch_data(ks.i1);
+                }
+                let m2 = raw.meta(ks.i2);
+                if ks.i2 != ks.i1 && m2.match_tag_mask(ks.tag) & m2.occupied_mask() != 0 {
+                    raw.prefetch_data(ks.i2);
+                }
+            }
+            // Stage 3: per-key locked probe; a table swap or migration
+            // begun mid-group demotes that key to the single-key path.
+            for (j, key) in group.iter().enumerate() {
+                let ks = ks_buf[j];
+                let g = self.stripes.lock_pair(ks.i1, ks.i2);
+                if !self.table_is_stable(raw) {
+                    drop(g);
+                    out.push(self.get_with_hashed(hashes[j], key, &mut f));
+                    continue;
+                }
+                out.push(
+                    Self::locked_find(raw, ks, key)
+                        // SAFETY: pair lock held; the slot is occupied.
+                        .map(|(bi, s)| f(unsafe { &*raw.bucket(bi).val_ptr(s) })),
+                );
+            }
+        }
+        out
+    }
+
+    /// Batched [`get`](Self::get): one cloned value per key, in order.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        self.get_with_many(keys, V::clone)
+    }
+
+    /// [`get_many`](Self::get_many) into a caller-provided buffer
+    /// (cleared first), so steady-state batched readers reuse one
+    /// allocation.
+    pub fn get_many_into(&self, keys: &[K], out: &mut Vec<Option<V>>)
+    where
+        V: Clone,
+    {
+        out.clear();
+        out.append(&mut self.get_with_many(keys, V::clone));
     }
 
     /// Looks up `key`, returning a clone of its value.
@@ -411,9 +515,10 @@ where
     /// Removes `key`, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
         let _pin = self.epochs.pin();
+        let h = hash_of(&self.hash_builder, key);
         loop {
-            if let Some((new, m)) = self.writer_table(key) {
-                let ks = key_slots(&self.hash_builder, key, new.mask());
+            if let Some((new, m)) = self.writer_table(h) {
+                let ks = slots_from_hash(h, new.mask());
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
                 if !self.migration_still_targets(m) {
                     continue;
@@ -429,7 +534,7 @@ where
                 };
             }
             let raw = self.current();
-            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let ks = slots_from_hash(h, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
             if !self.table_is_stable(raw) {
                 continue;
@@ -449,9 +554,10 @@ where
     /// Replaces the value of an existing key, returning the old value.
     pub fn update(&self, key: &K, val: V) -> Option<V> {
         let _pin = self.epochs.pin();
+        let h = hash_of(&self.hash_builder, key);
         loop {
-            if let Some((new, m)) = self.writer_table(key) {
-                let ks = key_slots(&self.hash_builder, key, new.mask());
+            if let Some((new, m)) = self.writer_table(h) {
+                let ks = slots_from_hash(h, new.mask());
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
                 if !self.migration_still_targets(m) {
                     continue;
@@ -466,7 +572,7 @@ where
                 };
             }
             let raw = self.current();
-            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let ks = slots_from_hash(h, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
             if !self.table_is_stable(raw) {
                 continue;
@@ -494,7 +600,7 @@ where
     /// or the observed migration resolved mid-checkpoint (the caller's
     /// loop re-reads state either way).
     #[allow(clippy::type_complexity)]
-    fn writer_table(&self, key: &K) -> Option<(&RawTable<K, V, B>, *mut Migration<K, V, B>)> {
+    fn writer_table(&self, h: u64) -> Option<(&RawTable<K, V, B>, *mut Migration<K, V, B>)> {
         let m = self.migration.load(Ordering::SeqCst);
         if m.is_null() {
             return None;
@@ -502,7 +608,7 @@ where
         // SAFETY: caller is pinned; descriptor and tables stay live.
         let mig = unsafe { &*m };
         let old = unsafe { &*mig.old };
-        let ks_old = key_slots(&self.hash_builder, key, old.mask());
+        let ks_old = slots_from_hash(h, old.mask());
         if !self.ensure_chunks_done(mig, m, ks_old.i1, ks_old.i2) {
             return None;
         }
@@ -642,13 +748,14 @@ where
 
     fn insert_inner(&self, key: K, val: V, upsert: bool) -> Result<UpsertOutcome, InsertError> {
         let _pin = self.epochs.pin();
+        let h = hash_of(&self.hash_builder, &key);
         let mut stale_retries = 0usize;
         loop {
-            if let Some((new, m)) = self.writer_table(&key) {
+            if let Some((new, m)) = self.writer_table(h) {
                 // Migration in flight: our old-table chunks are drained,
                 // so the key (if present) and the insert target are both
                 // in the new table.
-                let ks = key_slots(&self.hash_builder, &key, new.mask());
+                let ks = slots_from_hash(h, new.mask());
                 {
                     let _g = self.stripes.lock_pair(ks.i1, ks.i2);
                     if !self.migration_still_targets(m) {
@@ -696,7 +803,7 @@ where
             }
 
             let raw = self.current();
-            let ks = key_slots(&self.hash_builder, &key, raw.mask());
+            let ks = slots_from_hash(h, raw.mask());
             // Fast path under the candidate pair lock.
             {
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
@@ -1344,9 +1451,10 @@ where
     /// absent.
     pub fn modify(&self, key: &K, f: impl FnOnce(&mut V)) -> bool {
         let _pin = self.epochs.pin();
+        let h = hash_of(&self.hash_builder, key);
         loop {
-            if let Some((new, m)) = self.writer_table(key) {
-                let ks = key_slots(&self.hash_builder, key, new.mask());
+            if let Some((new, m)) = self.writer_table(h) {
+                let ks = slots_from_hash(h, new.mask());
                 let _g = self.stripes.lock_pair(ks.i1, ks.i2);
                 if !self.migration_still_targets(m) {
                     continue;
@@ -1361,7 +1469,7 @@ where
                 };
             }
             let raw = self.current();
-            let ks = key_slots(&self.hash_builder, key, raw.mask());
+            let ks = slots_from_hash(h, raw.mask());
             let _g = self.stripes.lock_pair(ks.i1, ks.i2);
             if !self.table_is_stable(raw) {
                 continue;

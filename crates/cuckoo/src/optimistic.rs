@@ -185,6 +185,54 @@ where
         crate::read::contains(&self.raw, &self.stripes, self.slots_of(key), key)
     }
 
+    /// Batched lookup: one result per key, in order (`None` = miss).
+    /// Lock-free, like [`get`](Self::get), and equivalent to calling it
+    /// per key — but groups of keys are software-pipelined (hash all →
+    /// prefetch metadata → prefetch tag-hit buckets → probe under
+    /// seqlock validation) so their cache misses overlap instead of
+    /// serializing. Keys invalidated by concurrent writers individually
+    /// fall back to the single-key path.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut out = Vec::new();
+        self.get_many_into(keys, &mut out);
+        out
+    }
+
+    /// [`get_many`](Self::get_many) into a caller-provided buffer
+    /// (cleared first), so steady-state batched readers allocate
+    /// nothing.
+    pub fn get_many_into(&self, keys: &[K], out: &mut Vec<Option<V>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        let mut ks_buf = [KeySlots { i1: 0, i2: 0, tag: 1 }; crate::read::MULTIGET_GROUP];
+        for (group, results) in keys
+            .chunks(crate::read::MULTIGET_GROUP)
+            .zip(out.chunks_mut(crate::read::MULTIGET_GROUP))
+        {
+            // Stage 1 (hashing) lives here: the engine below is
+            // hash-agnostic and consumes precomputed slots.
+            for (j, key) in group.iter().enumerate() {
+                ks_buf[j] = self.slots_of(key);
+            }
+            crate::read::get_group(
+                &self.raw,
+                &self.stripes,
+                &ks_buf[..group.len()],
+                group,
+                results,
+            );
+        }
+    }
+
+    /// Batched [`get_many`](Self::get_many) applying `f` to each found
+    /// value (values are `Plain` copies, so `f` observes a validated
+    /// copy, exactly like `get`'s return value).
+    pub fn get_with_many<R>(&self, keys: &[K], mut f: impl FnMut(&V) -> R) -> Vec<Option<R>> {
+        let mut copies = Vec::new();
+        self.get_many_into(keys, &mut copies);
+        copies.into_iter().map(|o| o.map(|v| f(&v))).collect()
+    }
+
     /// Inserts `key → val`; errors if the key exists or the table is too
     /// full (paper §2.1 semantics).
     pub fn insert(&self, key: K, val: V) -> Result<(), InsertError> {

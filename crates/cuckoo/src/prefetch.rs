@@ -2,13 +2,25 @@
 //!
 //! BFS path search makes the schedule of buckets to visit predictable, so
 //! "before scanning one neighbor, the processor can load the
-//! next_neighbor in cache". On x86-64 this issues `prefetcht0`; on other
-//! architectures it is a no-op (a hint, never a semantic requirement).
+//! next_neighbor in cache". The same predictability argument powers the
+//! batched lookup pipeline ([`crate::OptimisticCuckooMap::get_many`]):
+//! a group of keys' candidate buckets are all known after hashing, so
+//! their cache lines can be requested before any is scanned.
+//!
+//! Per-architecture lowering:
+//!
+//! - **x86-64**: `prefetcht0` via `_mm_prefetch` (all cache levels).
+//! - **aarch64**: `prfm pldl1keep` via inline asm — prefetch for load,
+//!   L1, "keep" (temporal) policy, matching `_MM_HINT_T0`'s intent.
+//! - **anything else**: documented no-op. Prefetch is a pure hint, never
+//!   a semantic requirement, so compiling it away preserves correctness;
+//!   ports to further architectures only forgo the overlap win.
 
 /// Hints the CPU to pull the cache line(s) at `ptr` into all cache levels.
 ///
 /// Accepts any pointer; never dereferences it architecturally, so it is
-/// safe even for dangling pointers (the instruction is a hint).
+/// safe even for null or dangling pointers (both instructions below are
+/// defined to be fault-free hints).
 #[inline]
 pub fn prefetch_read<T>(ptr: *const T) {
     // Skipped under Miri: the interpreter has no cache to warm and its
@@ -19,8 +31,26 @@ pub fn prefetch_read<T>(ptr: *const T) {
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
     }
-    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
+    // SAFETY: `prfm pldl1keep` is the AArch64 prefetch-memory hint
+    // (prefetch-for-load, target L1, temporal). The architecture defines
+    // PRFM to never generate a synchronous abort regardless of the
+    // address, so any pointer value — null, dangling, unmapped — is fine;
+    // `nostack`/`preserves_flags` hold because the instruction touches
+    // neither the stack nor NZCV.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{addr}]",
+            addr = in(reg) ptr,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(
+        all(target_arch = "x86_64", not(miri)),
+        all(target_arch = "aarch64", not(miri))
+    )))]
     {
+        // No-op fallback: other targets simply skip the hint.
         let _ = ptr;
     }
 }

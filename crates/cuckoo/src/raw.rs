@@ -90,6 +90,23 @@ impl<K, V, const B: usize> RawTable<K, V, B> {
         hashing::alt_index(index, tag, self.mask)
     }
 
+    /// Hints bucket `index`'s metadata word (tags + occupancy) into
+    /// cache. The SWAR tag probe touches only this line, so prefetching
+    /// it for a whole batch of keys overlaps their (usually-missing)
+    /// metadata loads.
+    #[inline]
+    pub fn prefetch_meta(&self, index: usize) {
+        crate::prefetch::prefetch_read(self.meta(index) as *const BucketMeta<B>);
+    }
+
+    /// Hints the start of bucket `index`'s entry storage (the key array)
+    /// into cache, for lookups whose tag probe reported a candidate and
+    /// will follow up with full-key comparisons.
+    #[inline]
+    pub fn prefetch_data(&self, index: usize) {
+        crate::prefetch::prefetch_read(self.bucket(index) as *const Bucket<K, V, B>);
+    }
+
     /// Writes a full entry into `(bucket, slot)` and publishes it,
     /// assuming exclusive write access to that bucket.
     ///

@@ -20,7 +20,7 @@
 
 use crate::hashing::KeySlots;
 use crate::raw::RawTable;
-use crate::sync::LockStripes;
+use crate::sync::{LockStripes, ReadStamp};
 use htm::Plain;
 
 /// Optimistic validation attempts before falling back to the locked
@@ -29,6 +29,51 @@ use htm::Plain;
 /// means sustained writer pressure on this stripe pair, at which point
 /// queueing on the lock is both faster and fair.
 const MAX_OPTIMISTIC_RETRIES: u32 = 64;
+
+/// Keys per software-pipelined lookup group (the batched `get_many`
+/// engine). Sized like the paper's prefetch argument (§4.3.2) sizes the
+/// BFS frontier: large enough that by the time the first key's bucket
+/// lines are demanded the later keys' prefetches are in flight (covering
+/// a DRAM-latency's worth of independent misses — ~8 lines at ≈80 ns
+/// latency and ≈10 ns/line of pipeline work), small enough that G keys'
+/// staged state (stamps + candidate masks) stays register/L1-resident
+/// and the earliest prefetched lines are not evicted before use.
+pub(crate) const MULTIGET_GROUP: usize = 8;
+
+/// Probes one bucket's candidate slots (a SWAR tag-match mask) for
+/// `key`, returning the racy value copy on a full-key match.
+///
+/// # Safety contract (internal)
+///
+/// The mask must come from `meta(bucket_idx)` (so every set bit is
+/// `< B`); the copies may be torn and the caller discards them unless
+/// its stripe stamps validate or it holds the pair lock.
+#[inline]
+fn probe_mask<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    bucket_idx: usize,
+    mut cand: u16,
+    key: &K,
+) -> Option<V>
+where
+    K: Plain + Eq,
+    V: Plain,
+{
+    while cand != 0 {
+        let slot = cand.trailing_zeros() as usize;
+        cand &= cand - 1;
+        // SAFETY: `slot < B` (from the B-bit candidate mask); the
+        // copy may be torn, and the caller discards it unless the
+        // stamps validate / the pair lock was held (seqlock ordering
+        // argument: DESIGN.md §5d).
+        let k = unsafe { raw.read_key_racy(bucket_idx, slot) };
+        if k == *key {
+            // SAFETY: as above.
+            return Some(unsafe { raw.read_val_racy(bucket_idx, slot) });
+        }
+    }
+    None
+}
 
 /// Scans both candidate buckets for `key`, returning the value copy.
 ///
@@ -44,28 +89,25 @@ where
     K: Plain + Eq,
     V: Plain,
 {
-    for bucket_idx in [ks.i1, ks.i2] {
-        let m = raw.meta(bucket_idx);
-        // SWAR: all candidate slots (tag match AND occupied) in two loads.
-        let mut cand = m.match_tag_mask(ks.tag) & m.occupied_mask();
-        while cand != 0 {
-            let slot = cand.trailing_zeros() as usize;
-            cand &= cand - 1;
-            // SAFETY: `slot < B` (from the B-bit candidate mask); the
-            // copy may be torn, and the caller discards it unless the
-            // stamps validate / the pair lock was held (seqlock ordering
-            // argument: DESIGN.md §5d).
-            let k = unsafe { raw.read_key_racy(bucket_idx, slot) };
-            if k == *key {
-                // SAFETY: as above.
-                return Some(unsafe { raw.read_val_racy(bucket_idx, slot) });
-            }
-        }
-        if ks.i2 == ks.i1 {
-            break;
-        }
+    let m1 = raw.meta(ks.i1);
+    // SWAR: all candidate slots (tag match AND occupied) in two loads.
+    let cand1 = m1.match_tag_mask(ks.tag) & m1.occupied_mask();
+    if ks.i2 == ks.i1 {
+        return probe_mask(raw, ks.i1, cand1, key);
     }
-    None
+    if cand1 == 0 {
+        // Tag miss in the primary: the lookup is headed for the
+        // alternate bucket, so start pulling its entry storage now —
+        // the data-line fetch overlaps the alternate metadata check
+        // that decides whether to probe it.
+        raw.prefetch_data(ks.i2);
+    }
+    if let Some(v) = probe_mask(raw, ks.i1, cand1, key) {
+        return Some(v);
+    }
+    let m2 = raw.meta(ks.i2);
+    let cand2 = m2.match_tag_mask(ks.tag) & m2.occupied_mask();
+    probe_mask(raw, ks.i2, cand2, key)
 }
 
 /// Presence-only variant of [`scan_value`] (no value copy).
@@ -122,6 +164,105 @@ where
     // and the racy copies cannot tear.
     let _g = stripes.lock_pair(ks.i1, ks.i2);
     scan_value(raw, ks, key)
+}
+
+/// Per-key state the batched pipeline carries from the stamping stage to
+/// the probing stage.
+#[derive(Clone, Copy)]
+struct Staged {
+    st1: ReadStamp,
+    st2: ReadStamp,
+    same_stripe: bool,
+    cand1: u16,
+    cand2: u16,
+}
+
+/// Software-pipelined batched lookup over one group of at most
+/// [`MULTIGET_GROUP`] keys (`ks`, `keys`, and `out` are parallel).
+///
+/// The stages interleave *across* keys so each key's cache misses
+/// overlap the others':
+///
+/// 1. **prefetch metadata** — both candidate `BucketMeta` words for
+///    every key are requested before any is read;
+/// 2. **stamp + tag-match + prefetch data** — per key: stamp the stripe
+///    versions, SWAR-probe the (now warm) metadata, and prefetch the
+///    entry storage of buckets reporting a candidate;
+/// 3. **probe + validate** — per key: full-key compare the candidates
+///    (data lines now warm) and validate the stamps. Stamp movement
+///    means a writer touched the pair mid-pipeline; that key alone
+///    falls back to the single-key path (bounded retries, then locks).
+///
+/// Correctness is the single-key argument unchanged: the candidate
+/// masks read in stage 2 and the entries probed in stage 3 are all
+/// loads between `read_begin` and `read_validate` on the same stamps,
+/// so a passing validation proves none of it was concurrently written.
+/// Prefetches are hints and carry no ordering obligations.
+pub(crate) fn get_group<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    stripes: &LockStripes,
+    ks: &[KeySlots],
+    keys: &[K],
+    out: &mut [Option<V>],
+) where
+    K: Plain + Eq,
+    V: Plain,
+{
+    debug_assert!(keys.len() <= MULTIGET_GROUP);
+    debug_assert!(ks.len() == keys.len() && out.len() == keys.len());
+    // Stage 1: issue every key's metadata prefetches back-to-back.
+    for k in ks {
+        raw.prefetch_meta(k.i1);
+        raw.prefetch_meta(k.i2);
+    }
+    // Stage 2: stamp stripes, SWAR-match tags, prefetch hit buckets.
+    let mut staged = [Staged {
+        st1: ReadStamp::default(),
+        st2: ReadStamp::default(),
+        same_stripe: true,
+        cand1: 0,
+        cand2: 0,
+    }; MULTIGET_GROUP];
+    for (j, k) in ks.iter().enumerate() {
+        let s1 = stripes.stripe(k.i1);
+        let s2 = stripes.stripe(k.i2);
+        let same_stripe = stripes.stripe_of(k.i1) == stripes.stripe_of(k.i2);
+        let st1 = s1.read_begin();
+        let st2 = if same_stripe { st1 } else { s2.read_begin() };
+        let m1 = raw.meta(k.i1);
+        let cand1 = m1.match_tag_mask(k.tag) & m1.occupied_mask();
+        let cand2 = if k.i2 == k.i1 {
+            0
+        } else {
+            let m2 = raw.meta(k.i2);
+            m2.match_tag_mask(k.tag) & m2.occupied_mask()
+        };
+        if cand1 != 0 {
+            raw.prefetch_data(k.i1);
+        }
+        if cand2 != 0 {
+            raw.prefetch_data(k.i2);
+        }
+        staged[j] = Staged { st1, st2, same_stripe, cand1, cand2 };
+    }
+    // Stage 3: full-key probes under the captured stamps.
+    for (j, k) in ks.iter().enumerate() {
+        let st = staged[j];
+        let key = &keys[j];
+        let found = match probe_mask(raw, k.i1, st.cand1, key) {
+            Some(v) => Some(v),
+            None => probe_mask(raw, k.i2, st.cand2, key),
+        };
+        let valid = stripes.stripe(k.i1).read_validate(st.st1)
+            && (st.same_stripe || stripes.stripe(k.i2).read_validate(st.st2));
+        out[j] = if valid {
+            found
+        } else {
+            // A writer moved one of this key's stripes mid-pipeline;
+            // only this key pays for the slow path.
+            get(raw, stripes, *k, key)
+        };
+    }
 }
 
 /// One validated attempt; `None` means a writer interfered — retry.
@@ -212,6 +353,76 @@ mod tests {
             assert_eq!(get(&raw, &stripes, ks, &key), None);
             assert!(!contains(&raw, &stripes, ks, &key));
         }
+    }
+
+    #[test]
+    fn get_group_matches_single_gets() {
+        let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(1 << 12);
+        let stripes = LockStripes::new(64);
+        let hb = RandomState::with_seed(21);
+        for key in 0..400u64 {
+            let ks = key_slots(&hb, &key, raw.mask());
+            let g = stripes.lock_pair(ks.i1, ks.i2);
+            let slot = raw.meta(ks.i1).empty_slot().expect("low occupancy");
+            // SAFETY: pair lock held.
+            unsafe { raw.write_entry_racy(ks.i1, slot, ks.tag, key, key ^ 0xdead) };
+            drop(g);
+        }
+        // Hits, misses, and duplicates within one group.
+        let keys: Vec<u64> = vec![0, 1, 999_999, 2, 2, 888_888, 3, 0];
+        let ks: Vec<KeySlots> = keys.iter().map(|k| key_slots(&hb, k, raw.mask())).collect();
+        let mut out = vec![None; keys.len()];
+        get_group(&raw, &stripes, &ks, &keys, &mut out);
+        for (j, key) in keys.iter().enumerate() {
+            assert_eq!(out[j], get(&raw, &stripes, ks[j], key), "key {key}");
+        }
+        // Short (partial) group.
+        let mut short = vec![None; 3];
+        get_group(&raw, &stripes, &ks[..3], &keys[..3], &mut short);
+        assert_eq!(short, out[..3].to_vec());
+    }
+
+    #[test]
+    fn get_group_falls_back_under_writer_pressure() {
+        // Hold a stripe's version odd-adjacent behavior via a lock/unlock
+        // storm while the group pipeline runs: invalidated keys must take
+        // the single-key fallback and still return correct results.
+        let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(4096);
+        let stripes = LockStripes::new(16);
+        let hb = RandomState::with_seed(31);
+        let keys: Vec<u64> = (0..64).collect();
+        for key in &keys {
+            let ks = key_slots(&hb, key, raw.mask());
+            let g = stripes.lock_pair(ks.i1, ks.i2);
+            let slot = raw.meta(ks.i1).empty_slot().expect("low occupancy");
+            // SAFETY: pair lock held.
+            unsafe { raw.write_entry_racy(ks.i1, slot, ks.tag, *key, key * 7) };
+            drop(g);
+        }
+        let ks: Vec<KeySlots> = keys.iter().map(|k| key_slots(&hb, k, raw.mask())).collect();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stop = &stop;
+        let stripes = &stripes;
+        let raw = &raw;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    for b in 0..16 {
+                        let _g = stripes.lock_pair(b, b);
+                    }
+                }
+            });
+            for _ in 0..300 {
+                for (kc, oc) in ks.chunks(MULTIGET_GROUP).zip(keys.chunks(MULTIGET_GROUP)) {
+                    let mut out = vec![None; kc.len()];
+                    get_group(raw, stripes, kc, oc, &mut out);
+                    for (j, key) in oc.iter().enumerate() {
+                        assert_eq!(out[j], Some(key * 7), "key {key}");
+                    }
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        });
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub struct VersionLock {
 }
 
 /// A validated snapshot of a stripe's version, for optimistic reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The `Default` stamp (version 0) is a placeholder for pre-sized
+/// pipeline buffers, not a valid observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReadStamp(u64);
 
 impl VersionLock {

@@ -213,6 +213,88 @@ fn lookup_during_chunk_migration() {
     });
 }
 
+/// Batched reads under the same §4.2 invariant as
+/// [`optimistic_read_vs_delete_reinsert`]: a `get_many` group whose keys
+/// race a delete/reinsert writer must deliver, per key, either a clean
+/// miss or a complete (untorn) value from the key's real history — the
+/// shared-stamp pipeline and its per-key fallback may never leak a torn
+/// or phantom value. Seeded random walks over the real map code.
+#[test]
+fn get_many_vs_delete_reinsert() {
+    loom::model_with(loom::Config::random(0x5eed_0004, 120), || {
+        let map: Arc<OptimisticCuckooMap<u64, [u64; 2], 8>> =
+            Arc::new(OptimisticCuckooMap::with_capacity(64));
+        map.insert(1, [10, 10]).unwrap();
+        map.insert(2, [30, 30]).unwrap();
+
+        let writer = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                map.remove(&1);
+                map.insert(1, [20, 20]).unwrap();
+            })
+        };
+        let reader = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                // One group: the racing key, a stable key, and a miss.
+                let out = map.get_many(&[1, 2, 99]);
+                if let Some(v) = out[0] {
+                    assert_eq!(v[0], v[1], "torn value escaped batched read");
+                    assert!(v[0] == 10 || v[0] == 20, "phantom value {v:?}");
+                }
+                assert_eq!(out[1], Some([30, 30]), "stable key disturbed");
+                assert_eq!(out[2], None, "absent key found");
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(map.get(&1).map(|v| v[0]), Some(20));
+    });
+}
+
+/// Batched two-table lookups vs. chunk migration: a `get_many` over the
+/// whole key set while another thread drives the incremental migration
+/// must find every key with its exact value — groups fall back to the
+/// per-key two-table path while the migration descriptor is live, and
+/// the stable-path stage-3 lock probe revalidates against table swaps.
+#[test]
+fn get_many_during_forced_migration() {
+    loom::model_with(loom::Config::random(0x5eed_0005, 60), || {
+        let map: Arc<CuckooMap<u64, u64>> = Arc::new(CuckooMap::with_capacity(16));
+        for k in 0..4u64 {
+            map.insert(k, k * 10 + 1).unwrap();
+        }
+        map.force_migration();
+
+        let migrator = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                while map.help_migrate(usize::MAX) {}
+            })
+        };
+        let reader = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                let out = map.get_many(&[0, 1, 2, 3, 50]);
+                for (k, v) in (0..4u64).zip(&out) {
+                    assert_eq!(
+                        *v,
+                        Some(k * 10 + 1),
+                        "key {k} lost or corrupted mid-migration"
+                    );
+                }
+                assert_eq!(out[4], None, "absent key found mid-migration");
+            })
+        };
+        migrator.join().unwrap();
+        reader.join().unwrap();
+        for k in 0..4u64 {
+            assert_eq!(map.get(&k), Some(k * 10 + 1), "key {k} lost after migration");
+        }
+    });
+}
+
 /// PR 2 regression: `get_or_insert_with` racing a delete of the same key
 /// must return a value (the existing one or its own) and never panic —
 /// the pre-fix code `expect`ed the winner's value to still be present

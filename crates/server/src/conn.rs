@@ -199,9 +199,30 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
     let class = match req {
         Request::Get { keys, with_cas } => {
             let now = crate::store::now_secs();
-            for key in keys {
-                if let Some(item) = ctx.store.get(key, now) {
-                    proto::encode_value(out, key, item.flags, &item.data, with_cas.then_some(item.cas));
+            if keys.len() > 1 {
+                // One batched store call for the whole request: the
+                // backend pipelines the per-key cache misses. Misses
+                // simply emit no VALUE stanza, exactly as the
+                // single-key loop below.
+                ctx.stats.record_multiget(keys.len());
+                let mut items = Vec::with_capacity(keys.len());
+                ctx.store.get_many(keys, now, &mut items);
+                for (key, item) in keys.iter().zip(items) {
+                    if let Some(item) = item {
+                        proto::encode_value(
+                            out,
+                            key,
+                            item.flags,
+                            &item.data,
+                            with_cas.then_some(item.cas),
+                        );
+                    }
+                }
+            } else {
+                for key in keys {
+                    if let Some(item) = ctx.store.get(key, now) {
+                        proto::encode_value(out, key, item.flags, &item.data, with_cas.then_some(item.cas));
+                    }
                 }
             }
             proto::encode_end(out);

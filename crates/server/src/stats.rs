@@ -31,6 +31,11 @@ pub struct ServerStats {
     pub protocol_errors: AtomicU64,
     /// Requests answered `SERVER_ERROR object too large for cache`.
     pub too_large: AtomicU64,
+    /// Multi-key `get` requests served through the batched store path.
+    pub multiget_batches: AtomicU64,
+    /// Total keys carried by those batched requests (so
+    /// `multiget_keys / multiget_batches` is the mean batch size).
+    pub multiget_keys: AtomicU64,
 }
 
 impl ServerStats {
@@ -45,11 +50,19 @@ impl ServerStats {
             curr_connections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             too_large: AtomicU64::new(0),
+            multiget_batches: AtomicU64::new(0),
+            multiget_keys: AtomicU64::new(0),
         }
     }
 
     pub fn record(&self, class: OpClass, nanos: u64) {
         self.histogram(class).record(nanos);
+    }
+
+    /// Records one multi-key `get` request of `keys` keys.
+    pub fn record_multiget(&self, keys: usize) {
+        self.multiget_batches.fetch_add(1, Ordering::Relaxed);
+        self.multiget_keys.fetch_add(keys as u64, Ordering::Relaxed);
     }
 
     fn histogram(&self, class: OpClass) -> &LatencyHistogram {
@@ -90,6 +103,8 @@ impl ServerStats {
         encode_stat(out, "hash_collisions", s.hash_collisions);
         encode_stat(out, "protocol_errors", self.protocol_errors.load(Ordering::Relaxed));
         encode_stat(out, "object_too_large", self.too_large.load(Ordering::Relaxed));
+        encode_stat(out, "multiget_batches", self.multiget_batches.load(Ordering::Relaxed));
+        encode_stat(out, "multiget_keys", self.multiget_keys.load(Ordering::Relaxed));
         for (name, h) in [
             ("get", &self.get_latency),
             ("store", &self.store_latency),

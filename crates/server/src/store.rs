@@ -89,6 +89,15 @@ pub struct StoreStats {
 /// than read internally) so tests can drive time.
 pub trait Store: Send + Sync + 'static {
     fn get(&self, key: &[u8], now: u32) -> Option<ItemOut>;
+    /// Batched lookup: one result per key, in order (`None` = miss),
+    /// with per-key semantics identical to [`get`](Self::get). The
+    /// default loops `get`; backends whose table has a pipelined
+    /// multi-key read path override it to amortize cache misses across
+    /// the batch.
+    fn get_many(&self, keys: &[&[u8]], now: u32, out: &mut Vec<Option<ItemOut>>) {
+        out.clear();
+        out.extend(keys.iter().map(|k| self.get(k, now)));
+    }
     fn store(
         &self,
         verb: StoreVerb,
@@ -209,6 +218,29 @@ impl Store for ClockStore {
             return None;
         }
         Some(ItemOut { flags: e.flags, cas: e.cas, data: e.value().to_vec() })
+    }
+
+    fn get_many(&self, keys: &[&[u8]], now: u32, out: &mut Vec<Option<ItemOut>>) {
+        let hashes: Vec<u64> = keys.iter().map(|k| self.hash_key(k)).collect();
+        let mut entries = Vec::with_capacity(keys.len());
+        self.cache.get_many(&hashes, &mut entries);
+        out.clear();
+        out.reserve(keys.len());
+        for ((key, h), entry) in keys.iter().zip(&hashes).zip(entries) {
+            let item = entry.and_then(|e| {
+                if e.key() != *key {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                if expired(e.expires_at, now) {
+                    self.cache.delete(*h);
+                    self.cache.record_expiration();
+                    return None;
+                }
+                Some(ItemOut { flags: e.flags, cas: e.cas, data: e.value().to_vec() })
+            });
+            out.push(item);
+        }
     }
 
     fn store(
@@ -362,6 +394,45 @@ impl Store for CuckooStore {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        }
+    }
+
+    fn get_many(&self, keys: &[&[u8]], now: u32, out: &mut Vec<Option<ItemOut>>) {
+        let owned: Vec<Box<[u8]>> = keys.iter().map(|&k| k.into()).collect();
+        let items = self.map.get_many(&owned);
+        out.clear();
+        out.reserve(keys.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (key, item) in owned.iter().zip(items) {
+            let live = item.filter(|item| {
+                if expired(item.expires_at, now) {
+                    self.map.remove(key);
+                    self.expirations.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
+            match live {
+                Some(item) => {
+                    hits += 1;
+                    out.push(Some(ItemOut {
+                        flags: item.flags,
+                        cas: item.cas,
+                        data: item.data.to_vec(),
+                    }));
+                }
+                None => {
+                    misses += 1;
+                    out.push(None);
+                }
+            }
+        }
+        if hits != 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses != 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
         }
     }
 
@@ -521,6 +592,33 @@ mod tests {
         let c1 = store.get(b"c1", now).unwrap().cas;
         let c2 = store.get(b"c2", now).unwrap().cas;
         assert!(c2 > c1);
+
+        // Batched get: per-key results (hits, misses, duplicates, cas)
+        // match the single-key path, in request order.
+        let keys: Vec<&[u8]> = vec![b"c1", b"no-such-key", b"c2", b"c1", b"fresh"];
+        let mut many = Vec::new();
+        store.get_many(&keys, now, &mut many);
+        assert_eq!(many.len(), keys.len());
+        for (key, got) in keys.iter().zip(&many) {
+            let single = store.get(key, now);
+            assert_eq!(
+                got.as_ref().map(|i| (i.flags, i.cas, i.data.clone())),
+                single.map(|i| (i.flags, i.cas, i.data)),
+                "get_many diverged from get for {:?}",
+                String::from_utf8_lossy(key)
+            );
+        }
+
+        // Batched get applies (and counts) lazy expiry like single get.
+        store.store(StoreVerb::Set, b"ttl3", 0, 10, b"v", now);
+        let exp_before = store.stats().cache.expirations;
+        let mut many = Vec::new();
+        store.get_many(&[b"ttl3".as_slice()], now + 11, &mut many);
+        assert!(
+            many.len() == 1 && many[0].is_none(),
+            "expired item served by get_many"
+        );
+        assert!(store.stats().cache.expirations > exp_before);
     }
 
     #[test]

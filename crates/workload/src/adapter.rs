@@ -54,6 +54,14 @@ pub trait ConcurrentMap<V: BenchValue>: Sync {
     fn put(&self, key: u64, val: V) -> PutResult;
     /// Looks up `key`.
     fn read(&self, key: &u64) -> Option<V>;
+    /// Batched lookup: one result per key, in order (`None` = miss).
+    /// The default loops [`read`](Self::read); tables with a pipelined
+    /// multi-key path override it so the driver's batch mode measures
+    /// the real engine.
+    fn read_many(&self, keys: &[u64], out: &mut Vec<Option<V>>) {
+        out.clear();
+        out.extend(keys.iter().map(|k| self.read(k)));
+    }
     /// Removes `key`, reporting whether it was present.
     fn del(&self, key: &u64) -> bool;
     /// Current item count.
@@ -96,6 +104,10 @@ impl<V: BenchValue + cuckoo::Plain, const B: usize> ConcurrentMap<V>
 
     fn read(&self, key: &u64) -> Option<V> {
         self.get(key)
+    }
+
+    fn read_many(&self, keys: &[u64], out: &mut Vec<Option<V>>) {
+        self.get_many_into(keys, out);
     }
 
     fn del(&self, key: &u64) -> bool {
@@ -219,6 +231,10 @@ impl<V: BenchValue, const B: usize> ConcurrentMap<V> for CuckooMap<u64, V, B> {
 
     fn read(&self, key: &u64) -> Option<V> {
         self.get(key)
+    }
+
+    fn read_many(&self, keys: &[u64], out: &mut Vec<Option<V>>) {
+        self.get_many_into(keys, out);
     }
 
     fn del(&self, key: &u64) -> bool {
@@ -360,6 +376,15 @@ mod tests {
             assert_eq!(m.read(&k), Some(V::from_key(k)), "{}", m.label());
         }
         assert_eq!(m.read(&9999), None);
+        // Batched read (pipelined override or default loop) agrees with
+        // single reads, including misses and duplicates.
+        let keys: Vec<u64> = (0..20).map(|i| if i % 4 == 3 { 9_999 + i } else { i }).collect();
+        let mut many = Vec::new();
+        m.read_many(&keys, &mut many);
+        assert_eq!(many.len(), keys.len());
+        for (k, got) in keys.iter().zip(&many) {
+            assert_eq!(*got, m.read(k), "{} key {k}", m.label());
+        }
         assert!(m.del(&0));
         assert!(!m.del(&0));
         assert_eq!(m.items(), 199);

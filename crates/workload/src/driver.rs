@@ -223,6 +223,17 @@ pub struct LookupSpec {
     pub ops_per_thread: u64,
     /// Fraction of lookups that should miss.
     pub miss_ratio: f64,
+    /// Keys per [`ConcurrentMap::read_many`] call. `0` or `1` measures
+    /// the single-key `read` path; larger values exercise the batched
+    /// (software-pipelined) engine with this group size.
+    pub batch: usize,
+}
+
+impl LookupSpec {
+    /// A single-key-path spec (`batch = 1`).
+    pub fn single(threads: usize, ops_per_thread: u64, miss_ratio: f64) -> Self {
+        LookupSpec { threads, ops_per_thread, miss_ratio, batch: 1 }
+    }
 }
 
 /// Runs lookup-only throughput against a pre-filled table.
@@ -245,15 +256,37 @@ pub fn run_lookup_only<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(
             s.spawn(move || {
                 let mut rng = SplitMix64::new(0xfeed ^ t);
                 let mut hits = 0u64;
-                for _ in 0..spec.ops_per_thread {
+                let next_key = |rng: &mut SplitMix64| {
                     let miss = (rng.next_u64() as f64 / u64::MAX as f64) < spec.miss_ratio;
-                    let key = if miss {
+                    if miss {
                         key_of(rng.below(fill_threads) + 4096, rng.next_u64() & ((1 << 40) - 1))
                     } else {
                         key_of(rng.below(fill_threads), rng.below(per_thread_keys))
-                    };
-                    if std::hint::black_box(map.read(&key)).is_some() {
-                        hits += 1;
+                    }
+                };
+                if spec.batch > 1 {
+                    let batch = spec.batch as u64;
+                    let mut keys = vec![0u64; spec.batch];
+                    let mut results = Vec::with_capacity(spec.batch);
+                    let mut remaining = spec.ops_per_thread;
+                    while remaining > 0 {
+                        let n = remaining.min(batch) as usize;
+                        for k in keys[..n].iter_mut() {
+                            *k = next_key(&mut rng);
+                        }
+                        map.read_many(&keys[..n], &mut results);
+                        hits += std::hint::black_box(&results)
+                            .iter()
+                            .filter(|r| r.is_some())
+                            .count() as u64;
+                        remaining -= n as u64;
+                    }
+                } else {
+                    for _ in 0..spec.ops_per_thread {
+                        let key = next_key(&mut rng);
+                        if std::hint::black_box(map.read(&key)).is_some() {
+                            hits += 1;
+                        }
                     }
                 }
                 std::hint::black_box(hits);
@@ -312,13 +345,35 @@ mod tests {
         let per_thread = report.inserts / 2;
         let mops = run_lookup_only(
             &map,
-            &LookupSpec {
-                threads: 2,
-                ops_per_thread: 20_000,
-                miss_ratio: 0.1,
-            },
+            &LookupSpec::single(2, 20_000, 0.1),
             (2, per_thread),
         );
         assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn batched_lookup_throughput_is_positive() {
+        let map: OptimisticCuckooMap<u64, u64, 8> = OptimisticCuckooMap::with_capacity(1 << 12);
+        let fill = FillSpec {
+            threads: 2,
+            insert_ratio: 1.0,
+            fill_to: 0.9,
+            windows: vec![],
+        };
+        let report = run_fill(&map, &fill);
+        let per_thread = report.inserts / 2;
+        for batch in [4, 8, 32] {
+            let mops = run_lookup_only(
+                &map,
+                &LookupSpec {
+                    threads: 2,
+                    ops_per_thread: 20_000,
+                    miss_ratio: 0.1,
+                    batch,
+                },
+                (2, per_thread),
+            );
+            assert!(mops > 0.0, "batch {batch}");
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Property-based equivalence: `get_many` ≡ N independent `get`s.
+//!
+//! The batched engine takes a different code path (software-pipelined
+//! prefetch + shared-stamp validation, per-key fallback) but must be
+//! observationally identical to looping the single-key read: same hits,
+//! same misses, same values, in request order — for duplicates within a
+//! group, batches longer than the table, and any group-boundary split.
+
+use cuckoo_repro::cuckoo::{CuckooMap, OptimisticCuckooMap};
+use proptest::prelude::*;
+
+proptest! {
+    /// Optimistic map: batched lookups agree with single-key gets for
+    /// arbitrary fill sets and query streams (hits, misses, duplicates).
+    #[test]
+    fn optimistic_get_many_equals_single_gets(
+        fill in proptest::collection::vec(any::<u16>(), 0..300),
+        queries in proptest::collection::vec(any::<u16>(), 0..80),
+    ) {
+        let m: OptimisticCuckooMap<u64, u64, 8> = OptimisticCuckooMap::with_capacity(2048);
+        for &k in &fill {
+            // Duplicate fill keys simply lose the insert race.
+            let _ = m.insert(k as u64, (k as u64) * 31 + 1);
+        }
+        let keys: Vec<u64> = queries.iter().map(|&k| k as u64).collect();
+        let batched = m.get_many(&keys);
+        prop_assert_eq!(batched.len(), keys.len());
+        for (j, k) in keys.iter().enumerate() {
+            prop_assert_eq!(batched[j], m.get(k), "key {}", k);
+        }
+        // And through the mapping variant.
+        let doubled = m.get_with_many(&keys, |v| v * 2);
+        for (j, k) in keys.iter().enumerate() {
+            prop_assert_eq!(doubled[j], m.get(k).map(|v| v * 2));
+        }
+    }
+
+    /// General map: same equivalence, including `get_with_many` closure
+    /// results, against the locked single-key path.
+    #[test]
+    fn cuckoo_map_get_many_equals_single_gets(
+        fill in proptest::collection::vec(any::<u16>(), 0..300),
+        queries in proptest::collection::vec(any::<u16>(), 0..80),
+    ) {
+        let m: CuckooMap<u64, u64, 8> = CuckooMap::with_capacity(2048);
+        for &k in &fill {
+            let _ = m.insert(k as u64, (k as u64) * 17 + 3);
+        }
+        let keys: Vec<u64> = queries.iter().map(|&k| k as u64).collect();
+        let batched = m.get_many(&keys);
+        prop_assert_eq!(batched.len(), keys.len());
+        for (j, k) in keys.iter().enumerate() {
+            let single = m.get(k);
+            prop_assert_eq!(batched[j].as_ref(), single.as_ref(), "key {}", k);
+        }
+        let mapped = m.get_with_many(&keys, |v| v + 1);
+        for (j, k) in keys.iter().enumerate() {
+            prop_assert_eq!(mapped[j], m.get(k).map(|v| v + 1));
+        }
+    }
+}
+
+/// A batch far longer than the table's population (and capacity) walks
+/// every group-boundary case: full groups, a ragged tail, all-miss
+/// groups, and duplicate-heavy groups.
+#[test]
+fn batch_longer_than_table() {
+    let m: OptimisticCuckooMap<u64, u64, 4> = OptimisticCuckooMap::with_capacity(64);
+    let capacity = m.capacity() as u64;
+    let mut resident = Vec::new();
+    for k in 0..capacity {
+        if m.insert(k, k + 100).is_ok() {
+            resident.push(k);
+        }
+    }
+    assert!(!resident.is_empty());
+    // 4x the table size, cycling hits, misses, and duplicates.
+    let keys: Vec<u64> = (0..capacity * 4)
+        .map(|i| match i % 3 {
+            0 => resident[(i as usize / 3) % resident.len()],
+            1 => 1_000_000 + i, // always a miss
+            _ => resident[0],   // duplicate of the same hit
+        })
+        .collect();
+    let batched = m.get_many(&keys);
+    assert_eq!(batched.len(), keys.len());
+    for (j, k) in keys.iter().enumerate() {
+        assert_eq!(batched[j], m.get(k), "index {j} key {k}");
+    }
+
+    let general: CuckooMap<u64, u64, 4> = CuckooMap::with_capacity(64);
+    for &k in &resident {
+        general.insert(k, k + 200).unwrap();
+    }
+    let batched = general.get_many(&keys);
+    for (j, k) in keys.iter().enumerate() {
+        assert_eq!(batched[j], general.get(k), "index {j} key {k}");
+    }
+}
+
+/// Batched reads racing a migration: force the general map to expand
+/// mid-stream and keep issuing `get_many` over the full key set — every
+/// key inserted before the expansion must stay visible with its exact
+/// value through the two-table window.
+#[test]
+fn get_many_sees_all_keys_across_live_expansion() {
+    let m: CuckooMap<u64, u64, 8> = CuckooMap::with_capacity(1 << 10);
+    let n = m.capacity() as u64; // > capacity * fill threshold → expands
+    let keys: Vec<u64> = (0..n).collect();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (m_ref, stop_ref, keys_ref) = (&m, &stop, &keys);
+        let reader = s.spawn(move || {
+            let mut seen_max = 0u64;
+            while !stop_ref.load(std::sync::atomic::Ordering::Acquire) {
+                let out = m_ref.get_many(keys_ref);
+                for (k, v) in keys_ref.iter().zip(out) {
+                    if let Some(v) = v {
+                        assert_eq!(v, k * 7 + 5, "key {k} corrupted");
+                        seen_max = seen_max.max(*k);
+                    }
+                }
+            }
+            seen_max
+        });
+        for &k in &keys {
+            m.insert(k, k * 7 + 5).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let _ = reader.join().unwrap();
+    });
+    // After the dust settles every key is present with its value.
+    let out = m.get_many(&keys);
+    for (k, v) in keys.iter().zip(out) {
+        assert_eq!(v, Some(k * 7 + 5), "key {k} lost");
+    }
+}
