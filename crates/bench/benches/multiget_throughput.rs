@@ -18,11 +18,15 @@
 //! - `MULTIGET_MIN_SPEEDUP`: if set, exit non-zero when the G=8 batch
 //!   at the higher load factor is slower than this multiple of the
 //!   single-get baseline (CI regression gate).
+//! - `BENCH_COUNTERS`: set to `0` to omit the per-load observability
+//!   counter deltas (seqlock retries, multiget fallbacks, lock
+//!   contention...) from the JSON artifacts; on by default.
 
 use bench::banner;
 use cuckoo::OptimisticCuckooMap;
 use workload::driver::{run_fill, run_lookup_only, FillSpec, LookupSpec};
 use workload::report::{mops, Table};
+use workload::snapshot::{json_object, MetricSnapshot};
 use std::collections::BTreeMap;
 
 const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
@@ -54,8 +58,11 @@ fn main() {
         &["load", "batch", "mops", "speedup"],
     );
 
+    let dump_counters = std::env::var("BENCH_COUNTERS").map(|v| v != "0").unwrap_or(true);
     // (load, batch) -> mops
     let mut results: BTreeMap<(u64, usize), f64> = BTreeMap::new();
+    // load -> JSON object of counter deltas across that load's sweep.
+    let mut counters: BTreeMap<u64, String> = BTreeMap::new();
     for &load in &LOADS {
         let map: OptimisticCuckooMap<u64, u64, 8> =
             OptimisticCuckooMap::with_capacity(1 << table_bits);
@@ -69,6 +76,9 @@ fn main() {
         assert!(!report.hit_full, "fill to {load} failed");
         let per_thread_keys = report.inserts / FILL_THREADS as u64;
         let load_key = (load * 100.0) as u64;
+        // Window the counter delta over the lookup sweep only, so the
+        // artifact explains *read* throughput (fill noise excluded).
+        let before = dump_counters.then(|| MetricSnapshot::take(&map));
         for &batch in &BATCHES {
             let spec = LookupSpec { threads, ops_per_thread, miss_ratio: MISS_RATIO, batch };
             let m = run_lookup_only(&map, &spec, (FILL_THREADS as u64, per_thread_keys));
@@ -80,6 +90,10 @@ fn main() {
                 mops(m),
                 format!("{:.2}x", m / base),
             ]);
+        }
+        if let Some(before) = before {
+            let delta = MetricSnapshot::take(&map).delta(&before);
+            counters.insert(load_key, json_object(&delta));
         }
     }
     out.print();
@@ -100,14 +114,22 @@ fn main() {
             )
         })
         .collect();
+    let counters_json = if counters.is_empty() {
+        String::from("{}")
+    } else {
+        let rows: Vec<String> =
+            counters.iter().map(|(load, obj)| format!("\"load_{load}\": {obj}")).collect();
+        format!("{{{}}}", rows.join(", "))
+    };
     let json = format!(
         "{{\n  \"bench\": \"multiget_throughput\",\n  \"table_slots\": {},\n  \
          \"threads\": {},\n  \"ops_per_thread\": {},\n  \"miss_ratio\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"counters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         1u64 << table_bits,
         threads,
         ops_per_thread,
         MISS_RATIO,
+        counters_json,
         json_rows.join(",\n")
     );
     match std::fs::write(dir.join("BENCH_multiget.json"), &json) {
@@ -128,11 +150,12 @@ fn main() {
     let read_json = format!(
         "{{\n  \"bench\": \"single_get_baseline\",\n  \"table_slots\": {},\n  \
          \"threads\": {},\n  \"ops_per_thread\": {},\n  \"miss_ratio\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"counters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         1u64 << table_bits,
         threads,
         ops_per_thread,
         MISS_RATIO,
+        counters_json,
         read_rows.join(",\n")
     );
     match std::fs::write(dir.join("BENCH_read.json"), &read_json) {

@@ -183,6 +183,20 @@ impl<V: Plain> ClockCache<V> {
         }
     }
 
+    /// Appends the underlying cuckoo table's metric sample set (stripe
+    /// contention, seqlock retries, multiget fallbacks, BFS histograms)
+    /// under the stable `cuckoo_*` exposition names.
+    pub fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        self.map.metric_samples(out);
+    }
+
+    /// Resets the underlying table's metric families (CLOCK counters —
+    /// hits, misses, evictions — are part of the memcached stats
+    /// contract and are left untouched).
+    pub fn reset_metrics(&self) {
+        self.map.reset_metrics();
+    }
+
     /// Records a lazy TTL expiration. The cache stores opaque values and
     /// has no notion of time; an owner that embeds lifetimes in its
     /// values calls this when it deletes an entry because it expired (as

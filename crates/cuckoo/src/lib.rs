@@ -66,7 +66,7 @@ pub use htm::Plain;
 pub use map::{CuckooMap, ResizeMode};
 pub use memc3::{MemC3Config, MemC3Cuckoo, SearchKind, WriterLockKind};
 pub use optimistic::OptimisticCuckooMap;
-pub use stats::{PathStats, PathStatsSnapshot};
+pub use stats::{PathStats, PathStatsSnapshot, TableMetrics};
 
 /// The paper's default search budget `M`: maximum slots examined while
 /// looking for an empty slot before declaring the table too full

@@ -44,6 +44,7 @@ use crate::hashing::{hash_of, key_slots, slots_from_hash, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, PathEntry};
 use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
+use crate::stats::TableMetrics;
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
 use crate::sync2::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -191,6 +192,9 @@ pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
     /// Write counter sampling which migration-era writes volunteer an
     /// extra chunk sweep (see [`HELP_SWEEP_INTERVAL`]).
     help_tick: AtomicU64,
+    /// Observability counters (migration progress, graveyard depth).
+    /// Boxed so the counters don't dilute the struct's hot cache lines.
+    table_metrics: Box<TableMetrics>,
 }
 
 // SAFETY: the map owns its entries (moving the map moves them) and
@@ -260,6 +264,7 @@ where
             epochs: EpochRegistry::new(),
             graveyard: Mutex::new(Vec::new()),
             help_tick: AtomicU64::new(0),
+            table_metrics: Box::new(TableMetrics::new()),
         }
     }
 
@@ -271,6 +276,30 @@ where
     /// Whether an incremental expansion is currently in flight.
     pub fn is_migrating(&self) -> bool {
         !self.migration.load(Ordering::SeqCst).is_null()
+    }
+
+    /// The observability counters (migration progress, graveyard depth).
+    pub fn metrics(&self) -> &TableMetrics {
+        &self.table_metrics
+    }
+
+    /// Appends this map's metric sample set under the stable `cuckoo_*`
+    /// exposition names. This map's reads are lock-based (no seqlock
+    /// retries) and it keeps no path stats, so those families report
+    /// zero; the migration and lock-stripe families are live.
+    pub fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        self.table_metrics.collect(
+            &self.stripes.lock_stats(),
+            &crate::stats::PathStatsSnapshot::default(),
+            out,
+        );
+    }
+
+    /// Resets every metric family this map exports (not atomic with
+    /// respect to concurrent operations).
+    pub fn reset_metrics(&self) {
+        self.table_metrics.reset();
+        self.stripes.reset_lock_stats();
     }
 
     /// The current bucket array.
@@ -1007,6 +1036,7 @@ where
             next_hint: AtomicUsize::new(0),
         });
         self.migration.store(Box::into_raw(desc), Ordering::SeqCst);
+        self.table_metrics.migrations_started.inc();
     }
 
     /// Model-only: starts an incremental migration immediately, exactly
@@ -1079,6 +1109,7 @@ where
             return false; // migration resolved (emergency rebuild)
         }
         mig.chunk_states[c].store(CHUNK_DONE, Ordering::Release);
+        self.table_metrics.migration_chunks.inc();
         if mig.chunks_done.fetch_add(1, Ordering::SeqCst) + 1 == mig.n_chunks() {
             self.finalize_migration(m);
         }
@@ -1088,6 +1119,7 @@ where
     /// Claims and migrates up to `max_chunks` pending chunks — the
     /// cooperative tail sweep.
     fn help_sweep(&self, mig: &Migration<K, V, B>, m: *mut Migration<K, V, B>, max_chunks: usize) {
+        self.table_metrics.help_sweeps.inc();
         let total = mig.n_chunks();
         for _ in 0..max_chunks {
             let start = mig.next_hint.fetch_add(1, Ordering::Relaxed) % total;
@@ -1247,6 +1279,7 @@ where
             // second, the normal path takes over.
             self.storage.store(mig.new, Ordering::SeqCst);
             self.migration.store(std::ptr::null_mut(), Ordering::SeqCst);
+            self.table_metrics.migrations_completed.inc();
         }
         // SAFETY: the descriptor is disconnected (no new loads of `m` can
         // occur); re-owning the boxes exactly once. Pinned stragglers are
@@ -1299,6 +1332,7 @@ where
         // under stripe locks we still hold.
         self.migration.store(std::ptr::null_mut(), Ordering::SeqCst);
         self.storage.store(Box::into_raw(rebuilt), Ordering::SeqCst);
+        self.table_metrics.emergency_rebuilds.inc();
         drop(all);
         // SAFETY: descriptor and both tables are disconnected; re-owning
         // each box exactly once.
@@ -1324,6 +1358,7 @@ where
             let min = self.epochs.min_active();
             g.retain(|r| r.epoch >= min);
         }
+        self.table_metrics.graveyard_depth.set(g.len() as u64);
     }
 
     /// Opportunistically frees retired allocations no in-flight operation
@@ -1335,6 +1370,7 @@ where
             }
             let min = self.epochs.min_active();
             g.retain(|r| r.epoch >= min);
+            self.table_metrics.graveyard_depth.set(g.len() as u64);
         }
     }
 

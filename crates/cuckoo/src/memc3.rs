@@ -26,7 +26,7 @@ use crate::hash::DefaultHashBuilder;
 use crate::hashing::{key_slots, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, dfs, SearchScratch};
-use crate::stats::{PathStats, PathStatsSnapshot};
+use crate::stats::{PathStats, PathStatsSnapshot, TableMetrics};
 use crate::sync::{LockStripes, SpinLock, DEFAULT_STRIPES};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
@@ -142,6 +142,9 @@ pub struct MemC3Cuckoo<K, V, const B: usize = 4, S = DefaultHashBuilder> {
     config: MemC3Config,
     writer: WriterLock,
     path_stats: PathStats,
+    /// Boxed: keeps the read path's fields (`raw`, `stripes`) densely
+    /// packed instead of interleaved with ~400 B of counters.
+    table_metrics: Box<TableMetrics>,
 }
 
 impl<K, V, const B: usize> MemC3Cuckoo<K, V, B, DefaultHashBuilder>
@@ -193,6 +196,7 @@ where
             config,
             writer,
             path_stats: PathStats::new(),
+            table_metrics: Box::new(TableMetrics::new()),
         }
     }
 
@@ -204,6 +208,23 @@ where
     /// Slow-path statistics: searches, path executions, stale paths.
     pub fn path_stats(&self) -> PathStatsSnapshot {
         self.path_stats.snapshot()
+    }
+
+    /// The hot-path metrics block (read retries / lock fallbacks).
+    pub fn metrics(&self) -> &TableMetrics {
+        &self.table_metrics
+    }
+
+    /// Appends this table's full observability sample set.
+    pub fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        self.table_metrics.collect(&self.stripes.lock_stats(), &self.path_stats.snapshot(), out);
+    }
+
+    /// Zeroes every metric family (lock, path, and table counters).
+    pub fn reset_metrics(&self) {
+        self.table_metrics.reset();
+        self.path_stats.reset();
+        self.stripes.reset_lock_stats();
     }
 
     /// Transactional statistics when running elided, else `None`.
@@ -222,13 +243,13 @@ where
     /// Lock-free optimistic lookup (identical protocol to cuckoo+).
     #[inline]
     pub fn get(&self, key: &K) -> Option<V> {
-        crate::read::get(&self.raw, &self.stripes, self.slots_of(key), key)
+        crate::read::get(&self.raw, &self.stripes, &self.table_metrics, self.slots_of(key), key)
     }
 
     /// Lock-free presence check.
     #[inline]
     pub fn contains_key(&self, key: &K) -> bool {
-        crate::read::contains(&self.raw, &self.stripes, self.slots_of(key), key)
+        crate::read::contains(&self.raw, &self.stripes, &self.table_metrics, self.slots_of(key), key)
     }
 
     /// Runs a critical section under the configured writer lock.

@@ -20,6 +20,7 @@
 
 use crate::hashing::KeySlots;
 use crate::raw::RawTable;
+use crate::stats::TableMetrics;
 use crate::sync::{LockStripes, ReadStamp};
 use htm::Plain;
 
@@ -143,6 +144,7 @@ where
 pub(crate) fn get<K, V, const B: usize>(
     raw: &RawTable<K, V, B>,
     stripes: &LockStripes,
+    m: &TableMetrics,
     ks: KeySlots,
     key: &K,
 ) -> Option<V>
@@ -157,11 +159,15 @@ where
         }
         // A failed validation means a writer holds (or bumped) a stripe;
         // hammering the version counters only slows that writer down.
+        // (Metrics are bumped only here on the failure path — a
+        // first-attempt success never touches a shared counter line.)
+        m.read_retries.inc();
         crate::sync::backoff(&mut spins);
     }
     // Writer storm on this stripe pair: take the locks. Writers mutating
     // these buckets hold the same pair, so the scan below is consistent
     // and the racy copies cannot tear.
+    m.read_lock_fallbacks.inc();
     let _g = stripes.lock_pair(ks.i1, ks.i2);
     scan_value(raw, ks, key)
 }
@@ -201,6 +207,7 @@ struct Staged {
 pub(crate) fn get_group<K, V, const B: usize>(
     raw: &RawTable<K, V, B>,
     stripes: &LockStripes,
+    m: &TableMetrics,
     ks: &[KeySlots],
     keys: &[K],
     out: &mut [Option<V>],
@@ -260,7 +267,8 @@ pub(crate) fn get_group<K, V, const B: usize>(
         } else {
             // A writer moved one of this key's stripes mid-pipeline;
             // only this key pays for the slow path.
-            get(raw, stripes, *k, key)
+            m.multiget_fallbacks.inc();
+            get(raw, stripes, m, *k, key)
         };
     }
 }
@@ -298,6 +306,7 @@ where
 pub(crate) fn contains<K, V, const B: usize>(
     raw: &RawTable<K, V, B>,
     stripes: &LockStripes,
+    m: &TableMetrics,
     ks: KeySlots,
     key: &K,
 ) -> bool
@@ -317,8 +326,10 @@ where
         if s1.read_validate(st1) && (same_stripe || s2.read_validate(st2)) {
             return found;
         }
+        m.read_retries.inc();
         crate::sync::backoff(&mut spins);
     }
+    m.read_lock_fallbacks.inc();
     let _g = stripes.lock_pair(ks.i1, ks.i2);
     scan_present(raw, ks, key)
 }
@@ -334,6 +345,7 @@ mod tests {
         let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(1 << 12);
         let stripes = LockStripes::new(64);
         let hb = RandomState::with_seed(3);
+        let tm = TableMetrics::new();
         for key in 0..500u64 {
             let ks = key_slots(&hb, &key, raw.mask());
             // Place directly via a locked-writer protocol.
@@ -345,13 +357,13 @@ mod tests {
         }
         for key in 0..500u64 {
             let ks = key_slots(&hb, &key, raw.mask());
-            assert_eq!(get(&raw, &stripes, ks, &key), Some(key * 3));
-            assert!(contains(&raw, &stripes, ks, &key));
+            assert_eq!(get(&raw, &stripes, &tm, ks, &key), Some(key * 3));
+            assert!(contains(&raw, &stripes, &tm, ks, &key));
         }
         for key in 500..600u64 {
             let ks = key_slots(&hb, &key, raw.mask());
-            assert_eq!(get(&raw, &stripes, ks, &key), None);
-            assert!(!contains(&raw, &stripes, ks, &key));
+            assert_eq!(get(&raw, &stripes, &tm, ks, &key), None);
+            assert!(!contains(&raw, &stripes, &tm, ks, &key));
         }
     }
 
@@ -360,6 +372,7 @@ mod tests {
         let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(1 << 12);
         let stripes = LockStripes::new(64);
         let hb = RandomState::with_seed(21);
+        let tm = TableMetrics::new();
         for key in 0..400u64 {
             let ks = key_slots(&hb, &key, raw.mask());
             let g = stripes.lock_pair(ks.i1, ks.i2);
@@ -372,13 +385,13 @@ mod tests {
         let keys: Vec<u64> = vec![0, 1, 999_999, 2, 2, 888_888, 3, 0];
         let ks: Vec<KeySlots> = keys.iter().map(|k| key_slots(&hb, k, raw.mask())).collect();
         let mut out = vec![None; keys.len()];
-        get_group(&raw, &stripes, &ks, &keys, &mut out);
+        get_group(&raw, &stripes, &tm, &ks, &keys, &mut out);
         for (j, key) in keys.iter().enumerate() {
-            assert_eq!(out[j], get(&raw, &stripes, ks[j], key), "key {key}");
+            assert_eq!(out[j], get(&raw, &stripes, &tm, ks[j], key), "key {key}");
         }
         // Short (partial) group.
         let mut short = vec![None; 3];
-        get_group(&raw, &stripes, &ks[..3], &keys[..3], &mut short);
+        get_group(&raw, &stripes, &tm, &ks[..3], &keys[..3], &mut short);
         assert_eq!(short, out[..3].to_vec());
     }
 
@@ -390,6 +403,7 @@ mod tests {
         let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(4096);
         let stripes = LockStripes::new(16);
         let hb = RandomState::with_seed(31);
+        let tm = TableMetrics::new();
         let keys: Vec<u64> = (0..64).collect();
         for key in &keys {
             let ks = key_slots(&hb, key, raw.mask());
@@ -415,7 +429,7 @@ mod tests {
             for _ in 0..300 {
                 for (kc, oc) in ks.chunks(MULTIGET_GROUP).zip(keys.chunks(MULTIGET_GROUP)) {
                     let mut out = vec![None; kc.len()];
-                    get_group(raw, stripes, kc, oc, &mut out);
+                    get_group(raw, stripes, &tm, kc, oc, &mut out);
                     for (j, key) in oc.iter().enumerate() {
                         assert_eq!(out[j], Some(key * 7), "key {key}");
                     }
@@ -423,6 +437,9 @@ mod tests {
             }
             stop.store(true, std::sync::atomic::Ordering::Release);
         });
+        // With a lock storm running, some keys must have paid a retry or
+        // fallback; whatever happened, the counters stay consistent.
+        assert!(tm.multiget_fallbacks.get() <= 300 * 64);
     }
 
     #[test]
@@ -430,14 +447,15 @@ mod tests {
         let raw: RawTable<u64, u64, 4> = RawTable::with_capacity(4096);
         let stripes = LockStripes::new(16);
         let hb = RandomState::with_seed(5);
+        let tm = TableMetrics::new();
         let ks = key_slots(&hb, &123u64, raw.mask());
         // A *different* key with the same tag in the same bucket.
         // SAFETY: single-threaded.
         unsafe { raw.write_entry_racy(ks.i1, 0, ks.tag, 999u64, 7u64) };
-        assert_eq!(get(&raw, &stripes, ks, &123u64), None);
-        assert!(!contains(&raw, &stripes, ks, &123u64));
+        assert_eq!(get(&raw, &stripes, &tm, ks, &123u64), None);
+        assert!(!contains(&raw, &stripes, &tm, ks, &123u64));
         let ks999 = KeySlots { ..ks };
-        assert_eq!(get(&raw, &stripes, ks999, &999u64), Some(7));
+        assert_eq!(get(&raw, &stripes, &tm, ks999, &999u64), Some(7));
     }
 
     /// The bounded-retry fallback must return correct results when every
@@ -449,6 +467,7 @@ mod tests {
         let raw: RawTable<u64, u64, 8> = RawTable::with_capacity(4096);
         let stripes = LockStripes::new(16);
         let hb = RandomState::with_seed(11);
+        let tm = TableMetrics::new();
         let key = 42u64;
         let ks = key_slots(&hb, &key, raw.mask());
         {
@@ -469,9 +488,9 @@ mod tests {
                 }
             });
             for _ in 0..200 {
-                assert_eq!(get(&raw, stripes, ks, &key), Some(777));
-                assert!(contains(&raw, stripes, ks, &key));
-                assert_eq!(get(&raw, stripes, ks, &(key + 1)), None);
+                assert_eq!(get(&raw, stripes, &tm, ks, &key), Some(777));
+                assert!(contains(&raw, stripes, &tm, ks, &key));
+                assert_eq!(get(&raw, stripes, &tm, ks, &(key + 1)), None);
             }
             stop.store(true, std::sync::atomic::Ordering::Release);
         });
@@ -484,6 +503,7 @@ mod tests {
         let raw: RawTable<u64, [u64; 4], 4> = RawTable::with_capacity(4096);
         let stripes = LockStripes::new(16);
         let hb = RandomState::with_seed(9);
+        let tm = TableMetrics::new();
         let ks = key_slots(&hb, &1u64, raw.mask());
         {
             let _g = stripes.lock_pair(ks.i1, ks.i2);
@@ -511,7 +531,7 @@ mod tests {
             for _ in 0..2 {
                 s.spawn(|| {
                     while !stop.load(std::sync::atomic::Ordering::Acquire) {
-                        if let Some(v) = get(&raw, &stripes, ks, &1u64) {
+                        if let Some(v) = get(&raw, &stripes, &tm, ks, &1u64) {
                             assert!(
                                 v.iter().all(|&x| x == v[0]),
                                 "torn read escaped validation: {v:?}"

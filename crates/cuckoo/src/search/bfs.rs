@@ -96,6 +96,7 @@ pub fn search<K, V, const B: usize>(
         }
 
         if examined >= max_slots {
+            scratch.examined = examined;
             return Err(SearchFailure::TableFull);
         }
         examined += B;
@@ -105,6 +106,7 @@ pub fn search<K, V, const B: usize>(
         let free = !mask & crate::bucket::BucketMeta::<B>::FULL_MASK;
         if free != 0 {
             let empty_slot = free.trailing_zeros() as u8;
+            scratch.examined = examined;
             reconstruct(scratch, head, empty_slot);
             return Ok(());
         }
@@ -128,6 +130,7 @@ pub fn search<K, V, const B: usize>(
         }
         head += 1;
     }
+    scratch.examined = examined;
     Err(SearchFailure::TableFull)
 }
 

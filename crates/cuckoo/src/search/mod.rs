@@ -32,6 +32,9 @@ pub struct SearchScratch {
     pub(crate) visited: Vec<Visited>,
     /// The discovered path, root first, empty-slot bucket last.
     pub path: Vec<PathEntry>,
+    /// Slots examined by the most recent search (success or failure) —
+    /// the observability layer's search-depth sample.
+    pub examined: usize,
     rng_state: u64,
 }
 
@@ -54,6 +57,7 @@ impl SearchScratch {
         SearchScratch {
             visited: Vec::with_capacity(512),
             path: Vec::with_capacity(16),
+            examined: 0,
             rng_state: mix64(seed | 1),
         }
     }

@@ -296,15 +296,49 @@ mod audit {
 
 /// A [`VersionLock`] alone on its cache line, so stripe contention does
 /// not become false sharing.
+///
+/// The lock word uses 8 of the line's 64 bytes; the acquisition and
+/// contention counters live in the otherwise-wasted padding, so bumping
+/// them right after a successful CAS touches a line the owner already
+/// holds exclusively (paper principle P1: statistics must not add
+/// shared-cache-line traffic).
 #[derive(Debug, Default)]
 #[repr(align(64))]
-pub struct PaddedLock(VersionLock);
+pub struct PaddedLock {
+    lock: VersionLock,
+    /// Writer-side acquisitions of this stripe (via any `lock_*` path).
+    acquisitions: metrics::Counter,
+    /// Acquisitions whose first `try_lock` failed.
+    contended: metrics::Counter,
+}
 
 /// The striped lock table.
 #[derive(Debug)]
 pub struct LockStripes {
     stripes: Box<[PaddedLock]>,
     mask: usize,
+    /// Backoff iterations per *contended* acquisition, table-wide.
+    /// Recorded only on the slow path, so the uncontended fast path
+    /// never touches this (shared) line.
+    spin_waits: metrics::Histogram,
+}
+
+/// Aggregated writer-lock statistics for one [`LockStripes`] table.
+///
+/// Relaxed-consistency: counters are summed stripe-by-stripe while
+/// writers may still be running, so a snapshot is an in-flight
+/// approximation, not a linearizable cut. [`LockStripes::lock_stats`]
+/// loads `contended` before `acquisitions` and clamps, so the invariant
+/// `contended <= acquisitions` holds in every snapshot regardless of
+/// tearing (same discipline as `PathStats::snapshot`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockStats {
+    /// Total writer-side stripe acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the stripe already locked.
+    pub contended: u64,
+    /// Backoff-iteration histogram over contended acquisitions.
+    pub spin_waits: metrics::HistogramSnapshot,
 }
 
 impl LockStripes {
@@ -318,7 +352,33 @@ impl LockStripes {
         LockStripes {
             mask: count - 1,
             stripes,
+            spin_waits: metrics::Histogram::new(),
         }
+    }
+
+    /// Acquires stripe `idx`'s writer lock, maintaining its counters.
+    ///
+    /// Counters are bumped *after* the CAS succeeds: the CAS just wrote
+    /// the stripe's cache line, so the increments hit a line this core
+    /// already owns exclusively and add no coherence traffic.
+    #[inline]
+    fn lock_counted(&self, idx: usize) {
+        let s = &self.stripes[idx];
+        if !s.lock.try_lock() {
+            let mut iterations = 0u64;
+            let mut spins = 0u32;
+            loop {
+                iterations += 1;
+                debug_assert!(iterations < 500_000_000, "lock_counted stuck");
+                backoff(&mut spins);
+                if s.lock.try_lock() {
+                    break;
+                }
+            }
+            s.contended.inc();
+            self.spin_waits.record(iterations);
+        }
+        s.acquisitions.inc();
     }
 
     /// Number of stripes.
@@ -350,7 +410,7 @@ impl LockStripes {
     /// The stripe lock covering bucket `bucket`.
     #[inline]
     pub fn stripe(&self, bucket: usize) -> &VersionLock {
-        &self.stripes[bucket & self.mask].0
+        &self.stripes[bucket & self.mask].lock
     }
 
     /// Locks the stripes covering `b1` and `b2` in stripe-index order
@@ -361,11 +421,11 @@ impl LockStripes {
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
         #[cfg(debug_assertions)]
         audit::acquiring(self.audit_id(), lo);
-        self.stripes[lo].0.lock();
+        self.lock_counted(lo);
         if hi != lo {
             #[cfg(debug_assertions)]
             audit::acquiring(self.audit_id(), hi);
-            self.stripes[hi].0.lock();
+            self.lock_counted(hi);
         }
         PairGuard {
             stripes: self,
@@ -380,8 +440,8 @@ impl LockStripes {
     pub fn lock_all(&self) -> AllGuard<'_> {
         #[cfg(debug_assertions)]
         audit::acquiring_all(self.audit_id());
-        for s in self.stripes.iter() {
-            s.0.lock();
+        for i in 0..self.stripes.len() {
+            self.lock_counted(i);
         }
         AllGuard { stripes: self }
     }
@@ -406,7 +466,7 @@ impl LockStripes {
             }
             #[cfg(debug_assertions)]
             audit::acquiring(self.audit_id(), idx);
-            self.stripes[idx].0.lock();
+            self.lock_counted(idx);
             held[n] = idx;
             n += 1;
         }
@@ -422,6 +482,37 @@ impl LockStripes {
     /// additional lock-striping table").
     pub fn memory_bytes(&self) -> usize {
         self.stripes.len() * std::mem::size_of::<PaddedLock>()
+    }
+
+    /// Sums the per-stripe counters into one [`LockStats`] snapshot.
+    ///
+    /// Per stripe, `contended` is loaded *before* `acquisitions`: a
+    /// locker bumps them in the opposite order, so any tear biases the
+    /// snapshot toward `contended <= acquisitions`; the final clamp
+    /// makes that invariant unconditional (see [`LockStats`]).
+    pub fn lock_stats(&self) -> LockStats {
+        let mut acquisitions = 0u64;
+        let mut contended = 0u64;
+        for s in self.stripes.iter() {
+            contended = contended.saturating_add(s.contended.get());
+            acquisitions = acquisitions.saturating_add(s.acquisitions.get());
+        }
+        LockStats {
+            acquisitions,
+            contended: contended.min(acquisitions),
+            spin_waits: self.spin_waits.snapshot(),
+        }
+    }
+
+    /// Zeroes every stripe counter and the spin histogram. Not atomic
+    /// with respect to concurrent lockers (see the relaxed-consistency
+    /// contract on [`LockStats`]).
+    pub fn reset_lock_stats(&self) {
+        for s in self.stripes.iter() {
+            s.acquisitions.reset();
+            s.contended.reset();
+        }
+        self.spin_waits.reset();
     }
 }
 
@@ -445,11 +536,11 @@ impl PairGuard<'_> {
 impl Drop for PairGuard<'_> {
     fn drop(&mut self) {
         if self.hi != self.lo {
-            self.stripes.stripes[self.hi].0.unlock();
+            self.stripes.stripes[self.hi].lock.unlock();
             #[cfg(debug_assertions)]
             audit::released(self.stripes.audit_id(), self.hi);
         }
-        self.stripes.stripes[self.lo].0.unlock();
+        self.stripes.stripes[self.lo].lock.unlock();
         #[cfg(debug_assertions)]
         audit::released(self.stripes.audit_id(), self.lo);
     }
@@ -475,7 +566,7 @@ impl MultiGuard<'_> {
 impl Drop for MultiGuard<'_> {
     fn drop(&mut self) {
         for &idx in self.held[..self.n].iter().rev() {
-            self.stripes.stripes[idx].0.unlock();
+            self.stripes.stripes[idx].lock.unlock();
             #[cfg(debug_assertions)]
             audit::released(self.stripes.audit_id(), idx);
         }
@@ -491,7 +582,7 @@ pub struct AllGuard<'a> {
 impl Drop for AllGuard<'_> {
     fn drop(&mut self) {
         for s in self.stripes.stripes.iter().rev() {
-            s.0.unlock();
+            s.lock.unlock();
         }
         #[cfg(debug_assertions)]
         audit::released_all(self.stripes.audit_id());
@@ -789,6 +880,51 @@ mod tests {
         });
         assert_eq!(shadow, THREADS * PER);
         assert_eq!(counter.load(Ordering::Relaxed), THREADS * PER);
+    }
+
+    #[test]
+    fn padded_lock_counters_fit_one_cache_line() {
+        assert_eq!(std::mem::size_of::<PaddedLock>(), 64);
+        assert_eq!(std::mem::align_of::<PaddedLock>(), 64);
+    }
+
+    #[test]
+    fn lock_stats_count_acquisitions_and_contention() {
+        let s = LockStripes::new(4);
+        assert_eq!(s.lock_stats().acquisitions, 0);
+        drop(s.lock_pair(0, 1)); // two stripes
+        drop(s.lock_pair(2, 2)); // one stripe
+        drop(s.lock_all()); // four stripes
+        drop(s.lock_multi([0, 1, 2])); // three stripes
+        let st = s.lock_stats();
+        assert_eq!(st.acquisitions, 2 + 1 + 4 + 3);
+        assert_eq!(st.contended, 0, "single-threaded: no contention");
+        assert_eq!(st.spin_waits.count(), 0);
+        s.reset_lock_stats();
+        assert_eq!(s.lock_stats().acquisitions, 0);
+    }
+
+    #[test]
+    fn contended_acquisitions_record_spin_waits() {
+        let s = LockStripes::new(2);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let held = s.lock_pair(0, 0);
+            let (s2, b2) = (&s, &barrier);
+            let t = scope.spawn(move || {
+                b2.wait();
+                drop(s2.lock_pair(0, 0)); // blocks until main unlocks
+            });
+            barrier.wait();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(held);
+            t.join().unwrap();
+        });
+        let st = s.lock_stats();
+        assert_eq!(st.acquisitions, 2);
+        assert_eq!(st.contended, 1);
+        assert_eq!(st.spin_waits.count(), 1);
+        assert!(st.contended <= st.acquisitions);
     }
 
     #[test]

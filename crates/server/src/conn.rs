@@ -253,9 +253,34 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
             }
             OpClass::Delete
         }
-        Request::Stats => {
-            ctx.stats.encode(out, ctx.store.as_ref(), ctx.workers);
-            proto::encode_end(out);
+        Request::Stats { arg } => {
+            match arg {
+                proto::StatsArg::General => {
+                    ctx.stats.encode(out, ctx.store.as_ref(), ctx.workers);
+                    proto::encode_end(out);
+                }
+                proto::StatsArg::Cuckoo => {
+                    let mut samples = Vec::new();
+                    crate::stats::collect_metric_samples(ctx.store.as_ref(), &mut samples);
+                    metrics::render_stat_lines(&samples, out);
+                    proto::encode_end(out);
+                }
+                proto::StatsArg::Prometheus => {
+                    // Prometheus text exposition, still END-terminated so
+                    // ASCII-protocol clients know where the body stops
+                    // (scrapers strip the last line: `... | sed '$d'`).
+                    let mut samples = Vec::new();
+                    crate::stats::collect_metric_samples(ctx.store.as_ref(), &mut samples);
+                    metrics::render_prometheus(&samples, out);
+                    proto::encode_end(out);
+                }
+                proto::StatsArg::Reset => {
+                    ctx.stats.reset();
+                    ctx.store.metrics_reset();
+                    htm::stats::reset_global();
+                    proto::encode_line(out, "RESET");
+                }
+            }
             OpClass::Other
         }
         Request::Version => {

@@ -51,6 +51,34 @@ impl StoreVerb {
     }
 }
 
+/// Which statistics section a `stats` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsArg {
+    /// Bare `stats` — the classic memcached general section.
+    General,
+    /// `stats cuckoo` — the cuckoo observability counters as `STAT`
+    /// lines (stripe contention, BFS path lengths, seqlock retries,
+    /// migration progress, HTM rollup).
+    Cuckoo,
+    /// `stats prometheus` — the same series in Prometheus text
+    /// exposition format (for scraping through `nc`/`curl` pipes).
+    Prometheus,
+    /// `stats reset` — zero the resettable counters (latency
+    /// histograms, cuckoo metric families, HTM rollup).
+    Reset,
+}
+
+impl StatsArg {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StatsArg::General => "",
+            StatsArg::Cuckoo => "cuckoo",
+            StatsArg::Prometheus => "prometheus",
+            StatsArg::Reset => "reset",
+        }
+    }
+}
+
 /// One complete client request, borrowing key/value bytes from the
 /// receive buffer.
 #[derive(Debug, PartialEq, Eq)]
@@ -69,8 +97,8 @@ pub enum Request<'a> {
     },
     /// `delete <key> [noreply]`
     Delete { key: &'a [u8], noreply: bool },
-    /// `stats`
-    Stats,
+    /// `stats [cuckoo|prometheus|reset]`
+    Stats { arg: StatsArg },
     /// `version`
     Version,
     /// `quit`
@@ -257,7 +285,24 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
             }
             Parsed::Ok { request: Request::Delete { key, noreply }, consumed: line_end }
         }
-        b"stats" => Parsed::Ok { request: Request::Stats, consumed: line_end },
+        b"stats" => {
+            let arg = match toks.next() {
+                None => StatsArg::General,
+                Some(b"cuckoo") => StatsArg::Cuckoo,
+                Some(b"prometheus") => StatsArg::Prometheus,
+                Some(b"reset") => StatsArg::Reset,
+                Some(_) => {
+                    return Parsed::Err(ProtoError::client(
+                        "bad stats argument",
+                        Some(line_end),
+                    ))
+                }
+            };
+            if toks.next().is_some() {
+                return Parsed::Err(ProtoError::client("bad stats argument", Some(line_end)));
+            }
+            Parsed::Ok { request: Request::Stats { arg }, consumed: line_end }
+        }
         b"version" => Parsed::Ok { request: Request::Version, consumed: line_end },
         b"quit" => Parsed::Ok { request: Request::Quit, consumed: line_end },
         _ => Parsed::Err(ProtoError::unknown(line_end)),
@@ -364,6 +409,17 @@ pub fn encode_stat(out: &mut Vec<u8>, name: &str, value: impl fmt::Display) {
     out.extend_from_slice(b"\r\n");
 }
 
+/// One `STAT <name> <value>` line for an integer value, formatted into a
+/// stack buffer: the whole stats body can render without allocating.
+pub fn encode_stat_u64(out: &mut Vec<u8>, name: &str, value: u64) {
+    out.extend_from_slice(b"STAT ");
+    out.extend_from_slice(name.as_bytes());
+    out.push(b' ');
+    let mut num = [0u8; 24];
+    out.extend_from_slice(fmt_u64(value, &mut num));
+    out.extend_from_slice(b"\r\n");
+}
+
 // ---------------------------------------------------------------------------
 // Request encoding (client side: net driver, tests)
 // ---------------------------------------------------------------------------
@@ -406,7 +462,14 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
             }
             out.extend_from_slice(b"\r\n");
         }
-        Request::Stats => out.extend_from_slice(b"stats\r\n"),
+        Request::Stats { arg } => {
+            out.extend_from_slice(b"stats");
+            if *arg != StatsArg::General {
+                out.push(b' ');
+                out.extend_from_slice(arg.as_str().as_bytes());
+            }
+            out.extend_from_slice(b"\r\n");
+        }
         Request::Version => out.extend_from_slice(b"version\r\n"),
         Request::Quit => out.extend_from_slice(b"quit\r\n"),
     }
@@ -498,6 +561,25 @@ mod tests {
     }
 
     #[test]
+    fn stats_argument_parses_and_rejects() {
+        let (req, _) = parse_one(b"stats\r\n");
+        assert_eq!(req, Request::Stats { arg: StatsArg::General });
+        let (req, _) = parse_one(b"stats prometheus\r\n");
+        assert_eq!(req, Request::Stats { arg: StatsArg::Prometheus });
+        match parse(b"stats bogus\r\nversion\r\n") {
+            Parsed::Err(e) => {
+                assert_eq!(e.kind, ErrorKind::Client);
+                assert_eq!(e.recover_by, Some(13), "resynchronizes at the next line");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(b"stats cuckoo extra\r\n") {
+            Parsed::Err(e) => assert_eq!(e.kind, ErrorKind::Client),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn roundtrip_encode_parse() {
         let reqs = [
             Request::Get { keys: vec![b"a".as_slice(), b"bb".as_slice()], with_cas: true },
@@ -510,7 +592,10 @@ mod tests {
                 noreply: true,
             },
             Request::Delete { key: b"key", noreply: false },
-            Request::Stats,
+            Request::Stats { arg: StatsArg::General },
+            Request::Stats { arg: StatsArg::Cuckoo },
+            Request::Stats { arg: StatsArg::Prometheus },
+            Request::Stats { arg: StatsArg::Reset },
             Request::Version,
             Request::Quit,
         ];

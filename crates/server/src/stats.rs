@@ -6,8 +6,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use workload::latency::LatencyHistogram;
 
-use crate::proto::encode_stat;
+use crate::proto::{encode_stat, encode_stat_u64};
 use crate::store::{Store, StoreStats};
+
+/// Precomputed `lat_<class>_<quantile>_ns` stat names, so the stats path
+/// never formats a name at request time (the hot-path budget covers the
+/// stats command too: a monitoring loop polling `stats` every second
+/// should not allocate per poll).
+const LAT_NAMES: [[&str; 5]; 3] = [
+    ["lat_get_mean_ns", "lat_get_p50_ns", "lat_get_p99_ns", "lat_get_p999_ns", "lat_get_max_ns"],
+    [
+        "lat_store_mean_ns",
+        "lat_store_p50_ns",
+        "lat_store_p99_ns",
+        "lat_store_p999_ns",
+        "lat_store_max_ns",
+    ],
+    [
+        "lat_delete_mean_ns",
+        "lat_delete_p50_ns",
+        "lat_delete_p99_ns",
+        "lat_delete_p999_ns",
+        "lat_delete_max_ns",
+    ],
+];
 
 /// Which histogram an operation's service time lands in.
 #[derive(Debug, Clone, Copy)]
@@ -78,48 +100,78 @@ impl ServerStats {
     /// `END`): server identity, store counters, then latency tails.
     pub fn encode(&self, out: &mut Vec<u8>, store: &dyn Store, workers: usize) {
         let s: StoreStats = store.stats();
-        encode_stat(out, "pid", std::process::id());
-        encode_stat(out, "uptime", self.started.elapsed().as_secs());
-        encode_stat(out, "time", crate::store::now_secs());
+        encode_stat_u64(out, "pid", std::process::id() as u64);
+        encode_stat_u64(out, "uptime", self.started.elapsed().as_secs());
+        encode_stat_u64(out, "time", crate::store::now_secs() as u64);
         encode_stat(out, "version", crate::VERSION);
-        encode_stat(out, "pointer_size", usize::BITS);
-        encode_stat(out, "threads", workers);
+        encode_stat_u64(out, "pointer_size", usize::BITS as u64);
+        encode_stat_u64(out, "threads", workers as u64);
         encode_stat(out, "engine", store.engine());
-        encode_stat(out, "curr_connections", self.curr_connections.load(Ordering::Relaxed));
-        encode_stat(out, "total_connections", self.total_connections.load(Ordering::Relaxed));
-        encode_stat(out, "curr_items", s.len);
-        encode_stat(out, "max_items", s.capacity);
-        encode_stat(out, "cmd_get", self.get_latency.len());
-        encode_stat(out, "cmd_set", self.store_latency.len());
-        encode_stat(out, "cmd_delete", self.delete_latency.len());
-        encode_stat(out, "get_hits", s.cache.hits);
-        encode_stat(out, "get_misses", s.cache.misses);
-        encode_stat(out, "evictions", s.cache.evictions);
-        encode_stat(out, "second_chances", s.cache.second_chances);
-        encode_stat(out, "expired", s.cache.expirations);
-        encode_stat(out, "total_inserts", s.cache.inserts);
-        encode_stat(out, "total_updates", s.cache.updates);
-        encode_stat(out, "total_deletes", s.cache.deletes);
-        encode_stat(out, "hash_collisions", s.hash_collisions);
-        encode_stat(out, "protocol_errors", self.protocol_errors.load(Ordering::Relaxed));
-        encode_stat(out, "object_too_large", self.too_large.load(Ordering::Relaxed));
-        encode_stat(out, "multiget_batches", self.multiget_batches.load(Ordering::Relaxed));
-        encode_stat(out, "multiget_keys", self.multiget_keys.load(Ordering::Relaxed));
-        for (name, h) in [
-            ("get", &self.get_latency),
-            ("store", &self.store_latency),
-            ("delete", &self.delete_latency),
-        ] {
+        encode_stat_u64(out, "curr_connections", self.curr_connections.load(Ordering::Relaxed));
+        encode_stat_u64(out, "total_connections", self.total_connections.load(Ordering::Relaxed));
+        encode_stat_u64(out, "curr_items", s.len as u64);
+        encode_stat_u64(out, "max_items", s.capacity as u64);
+        encode_stat_u64(out, "cmd_get", self.get_latency.len());
+        encode_stat_u64(out, "cmd_set", self.store_latency.len());
+        encode_stat_u64(out, "cmd_delete", self.delete_latency.len());
+        encode_stat_u64(out, "get_hits", s.cache.hits);
+        encode_stat_u64(out, "get_misses", s.cache.misses);
+        encode_stat_u64(out, "evictions", s.cache.evictions);
+        encode_stat_u64(out, "second_chances", s.cache.second_chances);
+        encode_stat_u64(out, "expired", s.cache.expirations);
+        encode_stat_u64(out, "total_inserts", s.cache.inserts);
+        encode_stat_u64(out, "total_updates", s.cache.updates);
+        encode_stat_u64(out, "total_deletes", s.cache.deletes);
+        encode_stat_u64(out, "hash_collisions", s.hash_collisions);
+        encode_stat_u64(out, "protocol_errors", self.protocol_errors.load(Ordering::Relaxed));
+        encode_stat_u64(out, "object_too_large", self.too_large.load(Ordering::Relaxed));
+        encode_stat_u64(out, "multiget_batches", self.multiget_batches.load(Ordering::Relaxed));
+        encode_stat_u64(out, "multiget_keys", self.multiget_keys.load(Ordering::Relaxed));
+        for (names, h) in LAT_NAMES.iter().zip([
+            &self.get_latency,
+            &self.store_latency,
+            &self.delete_latency,
+        ]) {
             if h.is_empty() {
                 continue;
             }
-            encode_stat(out, &format!("lat_{name}_mean_ns"), format!("{:.0}", h.mean()));
-            encode_stat(out, &format!("lat_{name}_p50_ns"), h.percentile(50.0));
-            encode_stat(out, &format!("lat_{name}_p99_ns"), h.percentile(99.0));
-            encode_stat(out, &format!("lat_{name}_p999_ns"), h.percentile(99.9));
-            encode_stat(out, &format!("lat_{name}_max_ns"), h.max());
+            encode_stat_u64(out, names[0], h.mean().round() as u64);
+            encode_stat_u64(out, names[1], h.percentile(50.0));
+            encode_stat_u64(out, names[2], h.percentile(99.0));
+            encode_stat_u64(out, names[3], h.percentile(99.9));
+            encode_stat_u64(out, names[4], h.max());
         }
     }
+
+    /// `stats reset`: zeroes the server-side resettable counters — the
+    /// latency histograms and protocol/multiget tallies. Connection
+    /// gauges and store-owned counters (hits, misses, evictions) are
+    /// deliberately left alone, as memcached leaves item stats alone.
+    pub fn reset(&self) {
+        self.get_latency.reset();
+        self.store_latency.reset();
+        self.delete_latency.reset();
+        self.other_latency.reset();
+        self.protocol_errors.store(0, Ordering::Relaxed);
+        self.too_large.store(0, Ordering::Relaxed);
+        self.multiget_batches.store(0, Ordering::Relaxed);
+        self.multiget_keys.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Assembles the complete observability sample set: the storage
+/// backend's cuckoo families plus the process-global HTM rollup. Both
+/// `stats cuckoo` (STAT lines) and `stats prometheus` (text exposition)
+/// render from this one collection, so the two views can never drift.
+pub fn collect_metric_samples(store: &dyn Store, out: &mut Vec<metrics::Sample>) {
+    store.metrics(out);
+    let h = htm::stats::global_snapshot();
+    out.push(metrics::Sample::counter("htm_starts_total", h.starts));
+    out.push(metrics::Sample::counter("htm_commits_total", h.commits));
+    out.push(metrics::Sample::counter_with("htm_aborts_total", "code", "conflict", h.conflict_aborts));
+    out.push(metrics::Sample::counter_with("htm_aborts_total", "code", "capacity", h.capacity_aborts));
+    out.push(metrics::Sample::counter_with("htm_aborts_total", "code", "explicit", h.explicit_aborts));
+    out.push(metrics::Sample::counter("htm_fallbacks_total", h.fallbacks));
 }
 
 impl Default for ServerStats {

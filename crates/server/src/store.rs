@@ -111,6 +111,14 @@ pub trait Store: Send + Sync + 'static {
     fn stats(&self) -> StoreStats;
     /// Human label for the `stats` output.
     fn engine(&self) -> &'static str;
+    /// Appends the backend's cuckoo observability samples (`stats
+    /// cuckoo` / `stats prometheus`). Default: no samples, so trivial
+    /// backends need not care.
+    fn metrics(&self, out: &mut Vec<metrics::Sample>) {
+        let _ = out;
+    }
+    /// Zeroes the backend's resettable metric families (`stats reset`).
+    fn metrics_reset(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +308,14 @@ impl Store for ClockStore {
 
     fn engine(&self) -> &'static str {
         "clock-cuckoo"
+    }
+
+    fn metrics(&self, out: &mut Vec<metrics::Sample>) {
+        self.cache.metric_samples(out);
+    }
+
+    fn metrics_reset(&self) {
+        self.cache.reset_metrics();
     }
 }
 
@@ -522,6 +538,14 @@ impl Store for CuckooStore {
 
     fn engine(&self) -> &'static str {
         "cuckoo-noevict"
+    }
+
+    fn metrics(&self, out: &mut Vec<metrics::Sample>) {
+        self.map.metric_samples(out);
+    }
+
+    fn metrics_reset(&self) {
+        self.map.reset_metrics();
     }
 }
 

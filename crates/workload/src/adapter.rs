@@ -77,6 +77,13 @@ pub trait ConcurrentMap<V: BenchValue>: Sync {
     fn htm_stats(&self) -> Option<StatsSnapshot> {
         None
     }
+    /// Appends the table's observability samples (lock contention, BFS
+    /// histograms, read retries...), for tables that keep them. The
+    /// driver snapshots these around a measured phase so reports carry
+    /// counter deltas. Default: no samples.
+    fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        let _ = out;
+    }
 }
 
 fn put_from_cuckoo(r: Result<(), cuckoo::InsertError>) -> PutResult {
@@ -128,6 +135,10 @@ impl<V: BenchValue + cuckoo::Plain, const B: usize> ConcurrentMap<V>
 
     fn label(&self) -> String {
         format!("cuckoo+ FG {B}-way")
+    }
+
+    fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        OptimisticCuckooMap::metric_samples(self, out);
     }
 }
 
@@ -222,6 +233,10 @@ impl<V: BenchValue + cuckoo::Plain, const B: usize> ConcurrentMap<V> for MemC3Cu
     fn htm_stats(&self) -> Option<StatsSnapshot> {
         MemC3Cuckoo::htm_stats(self)
     }
+
+    fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        MemC3Cuckoo::metric_samples(self, out);
+    }
 }
 
 impl<V: BenchValue, const B: usize> ConcurrentMap<V> for CuckooMap<u64, V, B> {
@@ -255,6 +270,10 @@ impl<V: BenchValue, const B: usize> ConcurrentMap<V> for CuckooMap<u64, V, B> {
 
     fn label(&self) -> String {
         format!("libcuckoo-style map {B}-way")
+    }
+
+    fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
+        CuckooMap::metric_samples(self, out);
     }
 }
 

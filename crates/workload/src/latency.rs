@@ -122,6 +122,18 @@ impl LatencyHistogram {
         sum as f64 / total as f64
     }
 
+    /// Zeroes every bucket and the count/max registers. Not atomic with
+    /// respect to concurrent `record` calls: samples recorded while the
+    /// reset sweeps may land before or after it (operator-facing `stats
+    /// reset`, not a synchronization point).
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Adds another histogram's counts into this one.
     pub fn merge(&self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {

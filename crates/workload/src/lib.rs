@@ -24,10 +24,12 @@ pub mod keygen;
 pub mod latency;
 pub mod net;
 pub mod report;
+pub mod snapshot;
 pub mod zipf;
 
 pub use adapter::{BenchValue, ConcurrentMap, PutResult};
 pub use driver::{FillReport, FillSpec, LookupSpec};
 pub use latency::LatencyHistogram;
 pub use report::Table;
+pub use snapshot::MetricSnapshot;
 pub use zipf::Zipf;

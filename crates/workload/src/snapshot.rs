@@ -1,0 +1,120 @@
+//! Counter-delta snapshots for bench reports.
+//!
+//! The figure benches report throughput; this module lets them also
+//! carry the observability counters that *explain* the throughput —
+//! seqlock retries behind a read-path regression, BFS path lengths
+//! behind an insert-path one. A bench takes a [`MetricSnapshot`] before
+//! and after the measured phase and embeds [`MetricSnapshot::delta`] in
+//! its `BENCH_*.json`, so trend tracking sees cause alongside effect.
+
+use crate::adapter::{BenchValue, ConcurrentMap};
+use metrics::Value;
+
+/// A flattened point-in-time copy of a table's metric samples.
+///
+/// Counters and gauges flatten to `(name, value)`; labeled series get
+/// the label value suffixed (`name_labelval`); histograms flatten to
+/// `name_count` and `name_sum` — buckets are an exposition concern, the
+/// two moments are what trend dashboards diff.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSnapshot {
+    pairs: Vec<(String, u64)>,
+}
+
+impl MetricSnapshot {
+    /// Captures the current samples of `map`.
+    pub fn take<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(map: &M) -> Self {
+        let mut samples = Vec::new();
+        map.metric_samples(&mut samples);
+        let mut pairs = Vec::with_capacity(samples.len() + 4);
+        for s in &samples {
+            let name = match s.label {
+                Some((_, val)) => format!("{}_{val}", s.name),
+                None => s.name.to_string(),
+            };
+            match s.value {
+                Value::Counter(v) | Value::Gauge(v) => pairs.push((name, v)),
+                Value::Histogram(h) => {
+                    pairs.push((format!("{name}_count"), h.count()));
+                    pairs.push((format!("{name}_sum"), h.sum));
+                }
+            }
+        }
+        MetricSnapshot { pairs }
+    }
+
+    /// The flattened `(name, value)` pairs, in collection order.
+    pub fn pairs(&self) -> &[(String, u64)] {
+        &self.pairs
+    }
+
+    /// Per-series change since `before` (saturating: relaxed snapshots
+    /// can tear, and gauges may legitimately decrease — a shrinking
+    /// gauge reports 0 here, its absolute value belongs in `self`).
+    /// Series absent from `before` diff against zero.
+    pub fn delta(&self, before: &MetricSnapshot) -> Vec<(String, u64)> {
+        self.pairs
+            .iter()
+            .map(|(name, v)| {
+                let old = before
+                    .pairs
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0);
+                (name.clone(), v.saturating_sub(old))
+            })
+            .collect()
+    }
+}
+
+/// Renders `(name, value)` pairs as a JSON object literal (sorted-input
+/// order preserved), for embedding in the hand-built `BENCH_*.json`
+/// artifacts: `{"a": 1, "b": 2}`.
+pub fn json_object(pairs: &[(String, u64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(n, v)| format!("\"{n}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuckoo::OptimisticCuckooMap;
+
+    #[test]
+    fn snapshot_delta_tracks_activity() {
+        let map: OptimisticCuckooMap<u64, u64, 8> = OptimisticCuckooMap::with_capacity(1 << 10);
+        let before = MetricSnapshot::take(&map);
+        for k in 0..500u64 {
+            map.insert(k, k).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(ConcurrentMap::<u64>::read(&map, &k), Some(k));
+        }
+        let after = MetricSnapshot::take(&map);
+        assert!(!after.pairs().is_empty());
+        let delta = after.delta(&before);
+        let get = |name: &str| {
+            delta
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        // Uncontended single-threaded traffic: every insert acquires
+        // stripe locks, nothing retries.
+        assert!(get("cuckoo_lock_acquisitions_total") >= 500);
+        assert_eq!(get("cuckoo_read_retries_total"), 0);
+        let json = json_object(&delta);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cuckoo_lock_acquisitions_total\":"));
+    }
+
+    #[test]
+    fn delta_saturates_and_defaults_missing_series_to_zero() {
+        let a = MetricSnapshot { pairs: vec![("x".into(), 10)] };
+        let b = MetricSnapshot { pairs: vec![("x".into(), 7), ("y".into(), 3)] };
+        let d = b.delta(&a);
+        assert_eq!(d, vec![("x".to_string(), 0), ("y".to_string(), 3)]);
+    }
+}

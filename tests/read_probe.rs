@@ -1,0 +1,33 @@
+//! Deterministic read-path probe for A/B overhead measurement (used to
+//! bound the observability layer's read-path cost — DESIGN.md §5f).
+//! Single-threaded fill (identical table layout every run), then timed
+//! passes of uniform single-key gets. Run with:
+//!   cargo test --release --test read_probe -- --ignored --nocapture
+use cuckoo::OptimisticCuckooMap;
+
+#[test]
+#[ignore]
+fn read_overhead_probe() {
+    let bits = 20u32;
+    let map: OptimisticCuckooMap<u64, u64, 8> = OptimisticCuckooMap::with_capacity(1 << bits);
+    let n = ((1u64 << bits) as f64 * 0.95) as u64;
+    for k in 0..n {
+        map.insert(k, k.wrapping_mul(3)).unwrap();
+    }
+    let ops = 4_000_000u64;
+    let mut acc = 0u64;
+    for pass in 0..8u64 {
+        let t = std::time::Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ pass;
+        for _ in 0..ops {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 11) % n;
+            if let Some(v) = map.get(&k) {
+                acc ^= v;
+            }
+        }
+        let dt = t.elapsed().as_secs_f64();
+        println!("PROBE pass {pass}: {:.3} Mops", ops as f64 / dt / 1e6);
+    }
+    assert_ne!(acc, 1);
+}

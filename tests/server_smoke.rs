@@ -154,6 +154,103 @@ fn concurrent_clients_set_get_delete_and_drain() {
 }
 
 #[test]
+fn observability_sections_expose_and_reset() {
+    let handle = server::spawn(server::Config {
+        port: 0,
+        capacity: 1 << 14,
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("spawn");
+    let mut client = Client::connect(handle.local_addr());
+    for i in 0..500 {
+        client.set(&format!("k{i}"), format!("v{i}").as_bytes());
+    }
+    for i in 0..500 {
+        assert!(client.get(&format!("k{i}")).is_some());
+    }
+
+    // `stats cuckoo`: STAT framing, core families present, and the
+    // cross-series invariants hold (contended ≤ acquisitions; the
+    // histogram count equals its +Inf cumulative bucket).
+    let read_stat_section = |client: &mut Client| {
+        write!(client.writer, "stats cuckoo\r\n").unwrap();
+        let mut stats = std::collections::BTreeMap::new();
+        loop {
+            let line = client.line();
+            if line == "END" {
+                break;
+            }
+            let rest = line.strip_prefix("STAT ").unwrap_or_else(|| panic!("bad line {line:?}"));
+            let (name, value) = rest.split_once(' ').unwrap();
+            stats.insert(name.to_string(), value.parse::<u64>().unwrap());
+        }
+        stats
+    };
+    let stats = read_stat_section(&mut client);
+    for family in [
+        "cuckoo_lock_acquisitions_total",
+        "cuckoo_lock_contended_total",
+        "cuckoo_lock_spin_waits_count",
+        "cuckoo_read_retries_total",
+        "cuckoo_read_lock_fallbacks_total",
+        "cuckoo_multiget_fallbacks_total",
+        "cuckoo_bfs_path_len_count",
+        "cuckoo_bfs_examined_slots_count",
+        "cuckoo_path_searches_total",
+        "cuckoo_migration_chunks_total",
+        "cuckoo_graveyard_depth",
+        "htm_starts_total",
+        "htm_fallbacks_total",
+    ] {
+        assert!(stats.contains_key(family), "missing family {family}");
+    }
+    assert!(stats["cuckoo_lock_acquisitions_total"] >= 500, "{stats:?}");
+    assert!(stats["cuckoo_lock_contended_total"] <= stats["cuckoo_lock_acquisitions_total"]);
+    assert_eq!(stats["cuckoo_bfs_path_len_count"], stats["cuckoo_bfs_path_len_le_inf"]);
+
+    // `stats prometheus`: text exposition with TYPE headers, cumulative
+    // histogram buckets, and labeled HTM abort series.
+    write!(client.writer, "stats prometheus\r\n").unwrap();
+    let mut body = String::new();
+    loop {
+        let line = client.line();
+        if line == "END" {
+            break;
+        }
+        body.push_str(&line);
+        body.push('\n');
+    }
+    for needle in [
+        "# TYPE cuckoo_lock_acquisitions_total counter",
+        "# TYPE cuckoo_bfs_path_len histogram",
+        "cuckoo_bfs_path_len_bucket{le=\"+Inf\"}",
+        "cuckoo_bfs_path_len_sum",
+        "cuckoo_bfs_path_len_count",
+        "# TYPE cuckoo_graveyard_depth gauge",
+        "htm_aborts_total{code=\"conflict\"}",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+
+    // Unknown subcommand: recoverable CLIENT_ERROR, connection usable.
+    write!(client.writer, "stats bogus\r\n").unwrap();
+    assert!(client.line().starts_with("CLIENT_ERROR"));
+
+    // `stats reset` zeroes the families coherently (no traffic between
+    // reset and re-read; the clock engine runs no background threads).
+    write!(client.writer, "stats reset\r\n").unwrap();
+    assert_eq!(client.line(), "RESET");
+    let after = read_stat_section(&mut client);
+    assert_eq!(after["cuckoo_lock_acquisitions_total"], 0, "{after:?}");
+    assert_eq!(after["cuckoo_lock_contended_total"], 0);
+    assert_eq!(after["cuckoo_bfs_path_len_count"], 0);
+    assert_eq!(after["cuckoo_read_retries_total"], 0);
+
+    handle.shutdown();
+}
+
+#[test]
 fn no_evict_mode_serves_large_values() {
     let handle = server::spawn(server::Config {
         port: 0,
