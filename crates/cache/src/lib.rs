@@ -450,6 +450,40 @@ impl<V: Plain> ClockCache<V> {
         }
     }
 
+    /// Visits every resident entry without blocking readers (the
+    /// underlying table is walked one lock stripe at a time). The view
+    /// is *fuzzy* — each entry reflects its value at the moment its
+    /// stripe was visited — which is exactly what a persistence snapshot
+    /// wants. Returns `false` if a concurrent cuckoo-path displacement
+    /// may have hidden an entry from this pass; the caller must discard
+    /// what `f` accumulated and retry.
+    pub fn scan(&self, mut f: impl FnMut(u64, &V)) -> bool {
+        self.map.scan(|k, entry| f(*k, &entry.1))
+    }
+
+    /// Deletes every resident entry (memcached `flush_all`), returning
+    /// how many were removed. Safe against concurrent writers — each
+    /// removal goes through [`delete`](Self::delete)'s slot-claiming
+    /// protocol — but not atomic: keys inserted while the flush runs may
+    /// survive it. Flushed entries count toward the `deletes` statistic.
+    pub fn flush(&self) -> u64 {
+        let mut flushed = 0u64;
+        loop {
+            let mut keys = Vec::new();
+            // A displacement can hide a key from one pass; the loop only
+            // exits on a clean pass that found nothing.
+            let clean = self.scan(|k, _| keys.push(k));
+            if keys.is_empty() && clean {
+                return flushed;
+            }
+            for k in keys {
+                if self.delete(k).is_some() {
+                    flushed += 1;
+                }
+            }
+        }
+    }
+
     /// Pops a free slot (in SETUP state, invisible to the hand), evicting
     /// until one is available.
     fn alloc_slot(&self) -> u32 {

@@ -192,6 +192,11 @@ pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
     /// Write counter sampling which migration-era writes volunteer an
     /// extra chunk sweep (see [`HELP_SWEEP_INTERVAL`]).
     help_tick: AtomicU64,
+    /// Total cuckoo-path displacement steps ever executed. Correctness-
+    /// bearing (not a resettable metric): [`scan`](Self::scan) validates
+    /// it to detect an entry hopping between stripes mid-scan, which
+    /// would otherwise let a live key escape a fuzzy snapshot.
+    displacements: AtomicU64,
     /// Observability counters (migration progress, graveyard depth).
     /// Boxed so the counters don't dilute the struct's hot cache lines.
     table_metrics: Box<TableMetrics>,
@@ -264,6 +269,7 @@ where
             epochs: EpochRegistry::new(),
             graveyard: Mutex::new(Vec::new()),
             help_tick: AtomicU64::new(0),
+            displacements: AtomicU64::new(0),
             table_metrics: Box::new(TableMetrics::new()),
         }
     }
@@ -775,6 +781,70 @@ where
         out
     }
 
+    /// Visits every entry **without ever blocking readers**: one stripe
+    /// lock at a time instead of [`for_each`](Self::for_each)'s
+    /// full-table lock, under an epoch pin so the visited table cannot
+    /// be reclaimed mid-scan.
+    ///
+    /// The view is *per-bucket consistent but not point-in-time*: each
+    /// entry is its key's live value at the moment its stripe was
+    /// visited, and concurrent writers keep running on every other
+    /// stripe. That fuzziness is exactly what the durability tier's
+    /// snapshot-then-replay recovery tolerates (each key's snapshot
+    /// value is a state at-or-after the log rotation point, and replay
+    /// of the log tail converges it — see `DESIGN.md` §5g).
+    ///
+    /// Returns `false` (visiting may stop early, and entries may have
+    /// been visited twice) if a table swap or migration started
+    /// mid-scan; the caller discards accumulated state and retries, or
+    /// falls back to `for_each`. An in-flight migration is driven to
+    /// completion before scanning so every entry lives in one table.
+    pub fn scan(&self, mut f: impl FnMut(&K, &V)) -> bool {
+        let _pin = self.epochs.pin();
+        while self.help_migrate(usize::MAX) {
+            crate::sync2::thread::yield_now();
+        }
+        if !self.migration.load(Ordering::SeqCst).is_null() {
+            return false;
+        }
+        // A cuckoo-path displacement can hop an entry from a bucket this
+        // scan has not reached yet into one it already passed — the
+        // entry would silently vanish from the snapshot. Validate the
+        // displacement count across the whole scan and abort on change.
+        let displacements_before = self.displacements.load(Ordering::SeqCst);
+        let raw = self.current();
+        let nbuckets = raw.n_buckets();
+        let nstripes = self.stripes.len().min(nbuckets);
+        for s in 0..nstripes {
+            // `stripe_of(s) == s` for `s < nstripes`; the pair guard
+            // with both buckets equal holds exactly one stripe.
+            let _g = self.stripes.lock_pair(s, s);
+            // A migration (incremental) or table swap (stop-the-world)
+            // that started since the check above strands entries
+            // outside `raw`: abort, the caller restarts on the new
+            // table. The pin keeps `raw` alive either way.
+            if !self.migration.load(Ordering::SeqCst).is_null()
+                || !std::ptr::eq(self.current(), raw)
+            {
+                return false;
+            }
+            let mut bi = s;
+            while bi < nbuckets {
+                let mask = raw.meta(bi).occupied_mask();
+                let b = raw.bucket(bi);
+                for slot in 0..B {
+                    if mask & (1 << slot) != 0 {
+                        // SAFETY: the stripe covering `bi` is held, so
+                        // the occupied slot's entry is stable.
+                        unsafe { f(&*b.key_ptr(slot), &*b.val_ptr(slot)) };
+                    }
+                }
+                bi += self.stripes.len();
+            }
+        }
+        self.displacements.load(Ordering::SeqCst) == displacements_before
+    }
+
     fn insert_inner(&self, key: K, val: V, upsert: bool) -> Result<UpsertOutcome, InsertError> {
         let _pin = self.epochs.pin();
         let h = hash_of(&self.hash_builder, &key);
@@ -965,6 +1035,10 @@ where
                 let (k, v) = raw.take_entry(src.bucket, ss);
                 raw.write_entry(dst.bucket, ds, src.tag, k, v);
             }
+            // Bumped under the pair lock so `scan` (one stripe at a
+            // time) observes the count move whenever an entry crosses
+            // stripes during a fuzzy snapshot.
+            self.displacements.fetch_add(1, Ordering::SeqCst);
         }
         true
     }

@@ -35,6 +35,7 @@ use crate::raw::RawTable;
 use crate::search::{self, bfs, PathEntry};
 use crate::stats::{PathStats, PathStatsSnapshot, TableMetrics};
 use crate::sync::{LockStripes, DEFAULT_STRIPES};
+use crate::sync2::atomic::{AtomicU64, Ordering};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
 use htm::Plain;
@@ -117,6 +118,7 @@ impl<S> Builder<S> {
             prefetch: self.prefetch,
             path_retries: self.path_retries,
             path_stats: PathStats::new(),
+            displacements: AtomicU64::new(0),
             table_metrics: Box::new(TableMetrics::new()),
         }
     }
@@ -133,6 +135,11 @@ pub struct OptimisticCuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder>
     prefetch: bool,
     path_retries: usize,
     path_stats: PathStats,
+    /// Total cuckoo-path displacement steps ever executed. Correctness-
+    /// bearing (not a resettable metric): [`scan`](Self::scan) validates
+    /// it to detect an entry hopping between stripes mid-scan, which
+    /// would otherwise let a live key escape a fuzzy snapshot.
+    displacements: AtomicU64,
     /// Boxed: ~400 B of atomics must not dilute the cache lines holding
     /// the read path's fields (`raw`, `stripes`, `hash_builder`).
     table_metrics: Box<TableMetrics>,
@@ -369,6 +376,42 @@ where
                 unsafe { (b.key_ptr(s).read(), b.val_ptr(s).read()) }
             })
             .collect()
+    }
+
+    /// Visits every entry one stripe at a time, so concurrent readers
+    /// stay lock-free and writers only contend with the single stripe
+    /// currently under visit — unlike [`snapshot`](Self::snapshot),
+    /// which holds the full-table lock for the whole copy. The result is
+    /// *fuzzy*: each entry reflects its value at the moment its stripe
+    /// was visited, not one global instant.
+    ///
+    /// Returns `false` if a concurrent cuckoo-path displacement may have
+    /// moved an entry from an unvisited bucket into an already-visited
+    /// one (the entry would be silently absent from the scan). The
+    /// caller must then discard whatever `f` accumulated and retry, or
+    /// fall back to [`snapshot`](Self::snapshot).
+    pub fn scan(&self, mut f: impl FnMut(&K, &V)) -> bool {
+        let displacements_before = self.displacements.load(Ordering::SeqCst);
+        let n_buckets = self.raw.n_buckets();
+        for s in 0..self.stripes.len().min(n_buckets) {
+            let _g = self.stripes.lock_pair(s, s);
+            let mut bi = s;
+            while bi < n_buckets {
+                let b = self.raw.bucket(bi);
+                let mut occ = self.raw.meta(bi).occupied_mask();
+                while occ != 0 {
+                    let slot = occ.trailing_zeros() as usize;
+                    occ &= occ - 1;
+                    // SAFETY: the stripe covering `bi` is held, so no
+                    // writer mutates these slots; plain reads of locked
+                    // data are race-free.
+                    let (k, v) = unsafe { (b.key_ptr(slot).read(), b.val_ptr(slot).read()) };
+                    f(&k, &v);
+                }
+                bi += self.stripes.len();
+            }
+        }
+        self.displacements.load(Ordering::SeqCst) == displacements_before
     }
 
     /// Removes every entry (exclusive access).
@@ -635,6 +678,10 @@ where
                 self.raw.write_entry_racy(dst.bucket, dst_slot, src.tag, k, v);
                 sm.clear_occupied(src_slot);
             }
+            // Bumped under the pair lock so `scan` (one stripe at a
+            // time) observes the count move whenever an entry crosses
+            // stripes during a fuzzy snapshot.
+            self.displacements.fetch_add(1, Ordering::SeqCst);
         }
         true
     }
@@ -732,6 +779,7 @@ where
                 self.raw.write_entry_racy(dst.bucket, ds, src.tag, k, v);
                 sm.clear_occupied(ss);
             }
+            self.displacements.fetch_add(1, Ordering::SeqCst);
         }
         true
     }

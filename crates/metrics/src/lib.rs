@@ -332,9 +332,161 @@ pub fn render_stat_lines(samples: &[Sample], out: &mut Vec<u8>) {
     }
 }
 
+/// The durability tier's metric families (`cuckoo_persist_*`).
+///
+/// Lives here (rather than in `crates/persist`) so the family set is
+/// declared next to the primitives it is built from and the exported
+/// name set stays greppable in one crate alongside the renderers. The
+/// same placement rules apply as everywhere else: the op-log hot path
+/// bumps counters it already owns (the group-commit writer thread), and
+/// gauges are last-writer-wins snapshots of background state.
+pub mod persist {
+    use super::{Counter, Gauge, Histogram, Sample};
+
+    /// All `cuckoo_persist_*` series for one data directory.
+    #[derive(Debug, Default)]
+    pub struct PersistMetrics {
+        /// Operations appended to the op log.
+        pub log_records: Counter,
+        /// Framed bytes appended to the op log.
+        pub log_bytes: Counter,
+        /// `fsync` calls issued by the group-commit writer.
+        pub fsyncs: Counter,
+        /// Group-commit latency in microseconds: age of the oldest
+        /// buffered record when its batch became durable.
+        pub group_commit_us: Histogram,
+        /// Appends that had to wait because the in-flight buffer was at
+        /// its bound (write hot path backpressure events).
+        pub backpressure_waits: Counter,
+        /// Snapshots successfully written and published.
+        pub snapshots: Counter,
+        /// Entries in the most recent published snapshot.
+        pub snapshot_entries: Gauge,
+        /// Log records replayed during warm restart.
+        pub replayed_records: Counter,
+        /// Torn/corrupt log tails truncated during recovery.
+        pub torn_tails: Counter,
+        /// Highest LSN known durable (fsync'd) on this node.
+        pub durable_lsn: Gauge,
+        /// Replica feeds currently attached (primary side).
+        pub replicas_connected: Gauge,
+        /// Records streamed to replicas (primary side).
+        pub replication_records_sent: Counter,
+        /// Primary LSN minus the slowest attached feed's sent LSN
+        /// (primary side), or primary LSN minus applied LSN (replica
+        /// side).
+        pub replication_lag: Gauge,
+        /// Records applied from the replication stream (replica side).
+        pub replication_records_applied: Counter,
+    }
+
+    impl PersistMetrics {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends one sample per family, grouped so renderers emit a
+        /// single TYPE header each. Names are part of the golden set.
+        pub fn samples(&self, out: &mut Vec<Sample>) {
+            out.push(Sample::counter("cuckoo_persist_log_records_total", self.log_records.get()));
+            out.push(Sample::counter("cuckoo_persist_log_bytes_total", self.log_bytes.get()));
+            out.push(Sample::counter("cuckoo_persist_fsyncs_total", self.fsyncs.get()));
+            out.push(Sample::histogram(
+                "cuckoo_persist_group_commit_us",
+                self.group_commit_us.snapshot(),
+            ));
+            out.push(Sample::counter(
+                "cuckoo_persist_backpressure_waits_total",
+                self.backpressure_waits.get(),
+            ));
+            out.push(Sample::counter("cuckoo_persist_snapshots_total", self.snapshots.get()));
+            out.push(Sample::gauge(
+                "cuckoo_persist_snapshot_last_entries",
+                self.snapshot_entries.get(),
+            ));
+            out.push(Sample::counter(
+                "cuckoo_persist_replayed_records_total",
+                self.replayed_records.get(),
+            ));
+            out.push(Sample::counter("cuckoo_persist_torn_tails_total", self.torn_tails.get()));
+            out.push(Sample::gauge("cuckoo_persist_durable_lsn", self.durable_lsn.get()));
+            out.push(Sample::gauge(
+                "cuckoo_persist_replicas_connected",
+                self.replicas_connected.get(),
+            ));
+            out.push(Sample::counter(
+                "cuckoo_persist_replication_records_sent_total",
+                self.replication_records_sent.get(),
+            ));
+            out.push(Sample::gauge(
+                "cuckoo_persist_replication_lag_records",
+                self.replication_lag.get(),
+            ));
+            out.push(Sample::counter(
+                "cuckoo_persist_replication_records_applied_total",
+                self.replication_records_applied.get(),
+            ));
+        }
+
+        /// `stats reset` hook: zeroes event counters and the latency
+        /// histogram. LSN/connection gauges are live state, not event
+        /// tallies, and are deliberately left alone (as memcached leaves
+        /// `curr_connections`).
+        pub fn reset(&self) {
+            self.log_records.reset();
+            self.log_bytes.reset();
+            self.fsyncs.reset();
+            self.group_commit_us.reset();
+            self.backpressure_waits.reset();
+            self.snapshots.reset();
+            self.replayed_records.reset();
+            self.torn_tails.reset();
+            self.replication_records_sent.reset();
+            self.replication_records_applied.reset();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_family_names_are_stable() {
+        // The `cuckoo_persist_*` name set is a golden API: CI greps the
+        // live server for these and dashboards key on them.
+        let m = persist::PersistMetrics::new();
+        m.log_records.add(3);
+        m.group_commit_us.record(250);
+        let mut out = Vec::new();
+        m.samples(&mut out);
+        let names: Vec<&str> = out.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "cuckoo_persist_log_records_total",
+                "cuckoo_persist_log_bytes_total",
+                "cuckoo_persist_fsyncs_total",
+                "cuckoo_persist_group_commit_us",
+                "cuckoo_persist_backpressure_waits_total",
+                "cuckoo_persist_snapshots_total",
+                "cuckoo_persist_snapshot_last_entries",
+                "cuckoo_persist_replayed_records_total",
+                "cuckoo_persist_torn_tails_total",
+                "cuckoo_persist_durable_lsn",
+                "cuckoo_persist_replicas_connected",
+                "cuckoo_persist_replication_records_sent_total",
+                "cuckoo_persist_replication_lag_records",
+                "cuckoo_persist_replication_records_applied_total",
+            ]
+        );
+        // Counters reset; state gauges survive.
+        m.durable_lsn.set(9);
+        m.reset();
+        assert_eq!(m.log_records.get(), 0);
+        assert_eq!(m.group_commit_us.snapshot().count(), 0);
+        assert_eq!(m.durable_lsn.get(), 9);
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

@@ -1,0 +1,286 @@
+//! The group-commit core: a bounded in-flight buffer between the write
+//! hot path and the single log-writer thread.
+//!
+//! This module is deliberately free of file I/O and timers so the model
+//! checker can explore it (`--cfg cuckoo_model` swaps every primitive
+//! here for the instrumented loom shim via `cuckoo::sync2`). The
+//! protocol it owns:
+//!
+//! - **LSN assignment and enqueue are one atomic step** (both under the
+//!   queue mutex), so the buffer is always in LSN order and two racing
+//!   appends can never enqueue out of order.
+//! - **Backpressure never blocks on disk**: when the buffer is at its
+//!   byte bound the appender spin-yields until the writer drains it —
+//!   it waits on *memory*, not on `fsync`.
+//! - **Watermarks** (`written_lsn` ≤ everything the writer handed to the
+//!   OS; `durable_lsn` ≤ everything fsync'd) only ever advance, and
+//!   `durable_lsn ≤ written_lsn ≤ last_lsn` always holds.
+//!
+//! The std-only writer thread (file writes, fsync cadence, rotation)
+//! lives in [`crate::log`]; under the model a test thread plays its role
+//! by calling [`CommitQueue::pop_batch`] / [`CommitQueue::mark_durable`]
+//! directly.
+
+use crate::record::{encode_op, Op};
+use cuckoo::sync2::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use cuckoo::sync2::{thread, Mutex};
+use metrics::persist::PersistMetrics;
+
+/// One encoded record waiting for the writer thread.
+pub struct PendingRecord {
+    pub lsn: u64,
+    /// The complete on-disk frame (header + payload).
+    pub frame: Vec<u8>,
+    /// When the record entered the queue; the writer turns the age at
+    /// fsync time into the group-commit latency histogram. Not part of
+    /// the modeled protocol.
+    pub enqueued: std::time::Instant,
+}
+
+struct Pending {
+    buf: Vec<PendingRecord>,
+    next_lsn: u64,
+}
+
+/// See the module docs.
+pub struct CommitQueue {
+    pending: Mutex<Pending>,
+    /// Mirror of the buffered byte total, readable without the mutex so
+    /// backpressure polling does not fight the writer for the lock.
+    pending_bytes: AtomicUsize,
+    /// Highest LSN assigned to an append.
+    last_lsn: AtomicU64,
+    /// Highest LSN written to the log file (not necessarily durable).
+    written_lsn: AtomicU64,
+    /// Highest LSN fsync'd.
+    durable_lsn: AtomicU64,
+    /// An appender wants durability now (graceful drain, tests).
+    sync_requested: AtomicBool,
+    /// No more appends; writer drains, fsyncs, and exits.
+    shutdown: AtomicBool,
+    max_pending_bytes: usize,
+}
+
+impl CommitQueue {
+    /// `start_lsn` is the highest LSN already on disk (recovery hands it
+    /// in so restart continues the sequence); `max_pending_bytes` bounds
+    /// the in-flight buffer.
+    pub fn new(start_lsn: u64, max_pending_bytes: usize) -> Self {
+        CommitQueue {
+            pending: Mutex::new(Pending { buf: Vec::new(), next_lsn: start_lsn + 1 }),
+            pending_bytes: AtomicUsize::new(0),
+            last_lsn: AtomicU64::new(start_lsn),
+            written_lsn: AtomicU64::new(start_lsn),
+            durable_lsn: AtomicU64::new(start_lsn),
+            sync_requested: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            max_pending_bytes,
+        }
+    }
+
+    /// Assigns the next LSN, encodes `op` under it, and enqueues the
+    /// frame. Spin-yields (never touches the disk) while the buffer is
+    /// over its bound. Returns the assigned LSN.
+    pub fn append(&self, op: &Op, metrics: &PersistMetrics) -> u64 {
+        debug_assert!(
+            !matches!(op, Op::Heartbeat { .. }),
+            "heartbeats are wire-only, never logged"
+        );
+        let mut waited = false;
+        loop {
+            // Cheap pre-check outside the lock; the authoritative check
+            // rides the mutex below.
+            if self.pending_bytes.load(Ordering::Acquire) >= self.max_pending_bytes
+                && !self.shutdown.load(Ordering::Acquire)
+            {
+                if !waited {
+                    metrics.backpressure_waits.inc();
+                    waited = true;
+                }
+                thread::yield_now();
+                continue;
+            }
+            let mut st = self.pending.lock().expect("commit queue poisoned");
+            if self.pending_bytes.load(Ordering::Acquire) >= self.max_pending_bytes
+                && !self.shutdown.load(Ordering::Acquire)
+            {
+                drop(st);
+                if !waited {
+                    metrics.backpressure_waits.inc();
+                    waited = true;
+                }
+                thread::yield_now();
+                continue;
+            }
+            let lsn = st.next_lsn;
+            st.next_lsn += 1;
+            let mut frame = Vec::new();
+            let n = encode_op(op, lsn, &mut frame);
+            st.buf.push(PendingRecord { lsn, frame, enqueued: std::time::Instant::now() });
+            self.pending_bytes.fetch_add(n, Ordering::Release);
+            self.last_lsn.store(lsn, Ordering::Release);
+            metrics.log_records.inc();
+            metrics.log_bytes.add(n as u64);
+            return lsn;
+        }
+    }
+
+    /// Takes the whole buffered batch (LSN-ordered, possibly empty).
+    pub fn pop_batch(&self) -> Vec<PendingRecord> {
+        let mut st = self.pending.lock().expect("commit queue poisoned");
+        let batch = std::mem::take(&mut st.buf);
+        let bytes: usize = batch.iter().map(|r| r.frame.len()).sum();
+        drop(st);
+        if bytes != 0 {
+            self.pending_bytes.fetch_sub(bytes, Ordering::Release);
+        }
+        batch
+    }
+
+    /// Writer: the batch up to `lsn` has been handed to the OS.
+    pub fn mark_written(&self, lsn: u64) {
+        self.written_lsn.fetch_max(lsn, Ordering::Release);
+    }
+
+    /// Writer: everything up to `lsn` survived an fsync.
+    pub fn mark_durable(&self, lsn: u64) {
+        debug_assert!(lsn <= self.written_lsn.load(Ordering::Acquire));
+        self.durable_lsn.fetch_max(lsn, Ordering::Release);
+    }
+
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn.load(Ordering::Acquire)
+    }
+
+    pub fn written_lsn(&self) -> u64 {
+        self.written_lsn.load(Ordering::Acquire)
+    }
+
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn.load(Ordering::Acquire)
+    }
+
+    /// Asks the writer to fsync at its next opportunity and waits until
+    /// everything appended so far is durable.
+    pub fn sync(&self) {
+        let target = self.last_lsn();
+        while self.durable_lsn() < target {
+            self.sync_requested.store(true, Ordering::Release);
+            thread::yield_now();
+        }
+    }
+
+    /// Writer side of [`sync`](Self::sync): consumes the request flag.
+    pub fn take_sync_request(&self) -> bool {
+        self.sync_requested.swap(false, Ordering::AcqRel)
+    }
+
+    /// Stops accepting the backpressure wait (appends still succeed so a
+    /// drain cannot deadlock) and tells the writer to finish.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(all(test, not(cuckoo_model)))]
+mod tests {
+    use super::*;
+
+    fn set(i: u64) -> Op {
+        Op::Set {
+            key: format!("k{i}").into_bytes(),
+            flags: 0,
+            expires_at: 0,
+            cas: i,
+            value: vec![0u8; 16],
+        }
+    }
+
+    #[test]
+    fn lsns_are_dense_and_batches_ordered() {
+        let q = CommitQueue::new(0, 1 << 20);
+        let m = PersistMetrics::new();
+        for i in 0..100 {
+            assert_eq!(q.append(&set(i), &m), i + 1);
+        }
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 100);
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64 + 1);
+        }
+        assert!(q.pop_batch().is_empty());
+        assert_eq!(m.log_records.get(), 100);
+    }
+
+    #[test]
+    fn concurrent_appends_fill_one_dense_sequence() {
+        let q = std::sync::Arc::new(CommitQueue::new(0, 1 << 20));
+        let m = std::sync::Arc::new(PersistMetrics::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (q, m) = (std::sync::Arc::clone(&q), std::sync::Arc::clone(&m));
+                s.spawn(move || {
+                    for i in 0..500 {
+                        q.append(&set(t * 1000 + i), &m);
+                    }
+                });
+            }
+        });
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2000);
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64 + 1, "buffer must be LSN-ordered");
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_the_buffer() {
+        let q = std::sync::Arc::new(CommitQueue::new(0, 2_000));
+        let m = std::sync::Arc::new(PersistMetrics::new());
+        let appender = {
+            let (q, m) = (std::sync::Arc::clone(&q), std::sync::Arc::clone(&m));
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    q.append(&set(i), &m);
+                }
+            })
+        };
+        // Drain slowly; the appender must block (on memory, not disk)
+        // whenever the buffer is over bound.
+        let mut drained = 0;
+        while drained < 200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let batch = q.pop_batch();
+            assert!(
+                batch.iter().map(|r| r.frame.len()).sum::<usize>() <= 2_000 + 100,
+                "buffer exceeded its bound by more than one record"
+            );
+            drained += batch.len();
+        }
+        appender.join().unwrap();
+        assert!(m.backpressure_waits.get() > 0, "the bound was never hit");
+    }
+
+    #[test]
+    fn watermarks_are_monotonic_and_ordered() {
+        let q = CommitQueue::new(10, 1 << 20);
+        let m = PersistMetrics::new();
+        assert_eq!(q.durable_lsn(), 10);
+        let lsn = q.append(&set(1), &m);
+        assert_eq!(lsn, 11);
+        q.pop_batch();
+        q.mark_written(11);
+        assert_eq!(q.written_lsn(), 11);
+        q.mark_durable(11);
+        assert_eq!(q.durable_lsn(), 11);
+        // Stale marks never move a watermark backwards.
+        q.mark_written(5);
+        q.mark_durable(5);
+        assert_eq!(q.written_lsn(), 11);
+        assert_eq!(q.durable_lsn(), 11);
+    }
+}

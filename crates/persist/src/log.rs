@@ -1,0 +1,327 @@
+//! The std-only side of the op log: the writer thread that drains the
+//! commit queue to disk, the rotation protocol the snapshotter uses to
+//! carve off a compactable prefix, and the recovery-time file scanner.
+//!
+//! Everything here runs on real files and real time, so it is *not*
+//! compiled under the model checker — the protocol it drives (the
+//! commit queue) is modeled separately with a test thread standing in
+//! for this one.
+//!
+//! File layout inside a data directory:
+//!
+//! - `oplog` — the live log; the writer appends framed records here.
+//! - `oplog.old` — the previous log generation, complete and fsync'd,
+//!   waiting for the snapshotter to cover it and delete it.
+//! - rotation = fsync `oplog` → rename it to `oplog.old` → open a fresh
+//!   `oplog`. The rename is atomic and the content is already durable,
+//!   so no crash point tears `oplog.old`.
+
+use crate::commit::CommitQueue;
+use crate::record::{decode, Decoded, Record};
+use metrics::persist::PersistMetrics;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub const OPLOG: &str = "oplog";
+pub const OPLOG_OLD: &str = "oplog.old";
+
+/// How often the idle writer re-polls the queue. Bounds how stale the
+/// on-disk (pre-fsync) log can be, which matters for replication
+/// visibility, not durability.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Rotation handshake between the writer thread (executes rotations at
+/// batch boundaries) and the snapshotter / replication feeders.
+#[derive(Debug, Default)]
+pub struct RotateCtl {
+    /// Snapshotter sets this; the writer consumes it.
+    pub requested: AtomicBool,
+    /// Completed-rotation count. Feeders compare it across reads to
+    /// detect that the file they are tailing was renamed away.
+    pub rotations: AtomicU64,
+    /// Highest LSN contained in `oplog.old` after the last rotation,
+    /// i.e. the fresh `oplog` holds exactly the LSNs above this.
+    pub rotate_lsn: AtomicU64,
+    /// Nonzero while a replication bootstrap needs the current `oplog`
+    /// to stay in place; the writer defers rotation requests.
+    pub paused: AtomicUsize,
+}
+
+impl RotateCtl {
+    pub fn new(start_lsn: u64) -> Self {
+        let ctl = RotateCtl::default();
+        ctl.rotate_lsn.store(start_lsn, Ordering::Relaxed);
+        ctl
+    }
+}
+
+/// Spawns the group-commit writer. It exits after
+/// [`CommitQueue::begin_shutdown`] once the queue is drained, leaving
+/// everything fsync'd.
+pub fn spawn_writer(
+    dir: PathBuf,
+    queue: Arc<CommitQueue>,
+    rotate: Arc<RotateCtl>,
+    metrics: Arc<PersistMetrics>,
+    fsync_interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("persist-writer".into())
+        .spawn(move || writer_loop(&dir, &queue, &rotate, &metrics, fsync_interval))
+        .expect("spawn persist writer")
+}
+
+fn open_log(dir: &Path) -> File {
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(OPLOG))
+        .expect("persist: cannot open op log")
+}
+
+fn writer_loop(
+    dir: &Path,
+    queue: &CommitQueue,
+    rotate: &RotateCtl,
+    metrics: &PersistMetrics,
+    fsync_interval: Duration,
+) {
+    let mut file = open_log(dir);
+    let mut last_fsync = Instant::now();
+    // Oldest record written since the last fsync; its age *at* the fsync
+    // is the group-commit latency for that batch.
+    let mut oldest_unsynced: Option<Instant> = None;
+
+    loop {
+        let batch = queue.pop_batch();
+        let shutting_down = queue.is_shutdown();
+
+        if let Some(last) = batch.last() {
+            let max_lsn = last.lsn;
+            if oldest_unsynced.is_none() {
+                oldest_unsynced = Some(batch[0].enqueued);
+            }
+            for r in &batch {
+                file.write_all(&r.frame).expect("persist: op log write failed");
+            }
+            // Written (visible to a tailing replica feeder) but not yet
+            // durable until the next fsync below.
+            queue.mark_written(max_lsn);
+        }
+
+        let sync_now = queue.take_sync_request();
+        let dirty = oldest_unsynced.is_some();
+        if dirty && (sync_now || shutting_down || last_fsync.elapsed() >= fsync_interval) {
+            file.sync_data().expect("persist: fsync failed");
+            metrics.fsyncs.inc();
+            if let Some(t) = oldest_unsynced.take() {
+                metrics.group_commit_us.record(t.elapsed().as_micros() as u64);
+            }
+            let written = queue.written_lsn();
+            queue.mark_durable(written);
+            metrics.durable_lsn.set(written);
+            last_fsync = Instant::now();
+        }
+
+        // Rotation only at a batch boundary, with everything durable,
+        // and never while a replication bootstrap holds the pause.
+        if rotate.requested.load(Ordering::Acquire)
+            && rotate.paused.load(Ordering::Acquire) == 0
+            && queue.durable_lsn() == queue.written_lsn()
+        {
+            rotate.requested.store(false, Ordering::Release);
+            drop(file);
+            fs::rename(dir.join(OPLOG), dir.join(OPLOG_OLD))
+                .expect("persist: log rotation rename failed");
+            file = open_log(dir);
+            rotate.rotate_lsn.store(queue.written_lsn(), Ordering::Release);
+            rotate.rotations.fetch_add(1, Ordering::Release);
+        }
+
+        if shutting_down && batch.is_empty() {
+            // One extra empty pop after the flag means the queue is
+            // drained (appenders are quiesced before shutdown); the
+            // fsync above already ran because `dirty` pairs with
+            // `shutting_down`.
+            debug_assert_eq!(queue.durable_lsn(), queue.last_lsn());
+            return;
+        }
+        if batch.is_empty() {
+            std::thread::sleep(POLL);
+        }
+    }
+}
+
+/// Result of scanning one log file at recovery.
+#[derive(Debug)]
+pub struct ScannedFile {
+    pub records: Vec<Record>,
+    /// Bytes up to the end of the last intact frame.
+    pub valid_bytes: u64,
+    /// True if the file ended in a partial or corrupt frame (torn tail).
+    pub torn: bool,
+}
+
+/// Decodes every intact frame from the front of `path`. Stops at the
+/// first incomplete or corrupt frame and reports it as a torn tail —
+/// the caller decides whether that is acceptable (last file on disk)
+/// or fatal (an interior file, which rotation guarantees is complete).
+/// Returns `None` if the file does not exist.
+pub fn scan_file(path: &Path) -> io::Result<Option<ScannedFile>> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = false;
+    while pos < buf.len() {
+        match decode(&buf[pos..]) {
+            Decoded::Frame { record, consumed } => {
+                records.push(record);
+                pos += consumed;
+            }
+            Decoded::Incomplete | Decoded::Corrupt => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    Ok(Some(ScannedFile { records, valid_bytes: pos as u64, torn }))
+}
+
+/// Truncates a torn tail off `path`, keeping exactly `valid_bytes`.
+pub fn truncate_to(path: &Path, valid_bytes: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(valid_bytes)?;
+    f.sync_all()
+}
+
+#[cfg(all(test, not(cuckoo_model)))]
+mod tests {
+    use super::*;
+    use crate::record::{encode_op, Op};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("persist-log-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn set(i: u64) -> Op {
+        Op::Set {
+            key: format!("k{i}").into_bytes(),
+            flags: 0,
+            expires_at: 0,
+            cas: i,
+            value: vec![b'v'; 8],
+        }
+    }
+
+    #[test]
+    fn writer_drains_fsyncs_and_rotates() {
+        let d = tmpdir("writer");
+        let queue = Arc::new(CommitQueue::new(0, 1 << 20));
+        let rotate = Arc::new(RotateCtl::new(0));
+        let metrics = Arc::new(PersistMetrics::new());
+        let h = spawn_writer(
+            d.clone(),
+            Arc::clone(&queue),
+            Arc::clone(&rotate),
+            Arc::clone(&metrics),
+            Duration::from_millis(1),
+        );
+        for i in 0..20 {
+            queue.append(&set(i), &metrics);
+        }
+        queue.sync();
+        assert_eq!(queue.durable_lsn(), 20);
+        assert!(metrics.fsyncs.get() >= 1);
+
+        // Rotate: the live log moves aside complete, a fresh one starts.
+        rotate.requested.store(true, Ordering::Release);
+        while rotate.rotations.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(rotate.rotate_lsn.load(Ordering::Acquire), 20);
+        let old = scan_file(&d.join(OPLOG_OLD)).unwrap().unwrap();
+        assert_eq!(old.records.len(), 20);
+        assert!(!old.torn);
+
+        for i in 20..25 {
+            queue.append(&set(i), &metrics);
+        }
+        queue.begin_shutdown();
+        h.join().unwrap();
+        let live = scan_file(&d.join(OPLOG)).unwrap().unwrap();
+        assert_eq!(
+            live.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            (21..=25).collect::<Vec<_>>()
+        );
+        assert_eq!(queue.durable_lsn(), 25);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn pause_defers_rotation() {
+        let d = tmpdir("pause");
+        let queue = Arc::new(CommitQueue::new(0, 1 << 20));
+        let rotate = Arc::new(RotateCtl::new(0));
+        let metrics = Arc::new(PersistMetrics::new());
+        let h = spawn_writer(
+            d.clone(),
+            Arc::clone(&queue),
+            Arc::clone(&rotate),
+            Arc::clone(&metrics),
+            Duration::from_millis(1),
+        );
+        queue.append(&set(1), &metrics);
+        queue.sync();
+        rotate.paused.fetch_add(1, Ordering::AcqRel);
+        rotate.requested.store(true, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rotate.rotations.load(Ordering::Acquire), 0, "rotated while paused");
+        rotate.paused.fetch_sub(1, Ordering::AcqRel);
+        while rotate.rotations.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        queue.begin_shutdown();
+        h.join().unwrap();
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn scan_reports_torn_tail_and_truncate_heals_it() {
+        let d = tmpdir("torn");
+        let path = d.join(OPLOG);
+        let mut bytes = Vec::new();
+        for i in 1..=5u64 {
+            encode_op(&set(i), i, &mut bytes);
+        }
+        let full = bytes.len();
+        bytes.extend_from_slice(&bytes.clone()[..13]); // partial sixth frame
+        fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_file(&path).unwrap().unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.valid_bytes, full as u64);
+
+        truncate_to(&path, scan.valid_bytes).unwrap();
+        let scan = scan_file(&path).unwrap().unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 5);
+
+        assert!(scan_file(&d.join("nope")).unwrap().is_none());
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Model-checking suite for the durability protocols (build with
+//! `RUSTFLAGS="--cfg cuckoo_model"`).
+//!
+//! `cuckoo::sync2` swaps the primitives inside [`persist::commit`] and
+//! [`persist::WriteStripes`] for the instrumented loom shim, and
+//! `loom::explore` walks the interleavings of the *real* protocol code:
+//!
+//! - LSN assignment under concurrent appenders stays dense and the
+//!   buffer stays LSN-ordered (the property replica replay relies on);
+//! - the `durable ≤ written ≤ last` watermark chain holds at every
+//!   observable point while a writer thread drains concurrently;
+//! - shutdown cannot deadlock an appender parked in backpressure;
+//! - apply-to-map-then-append-to-log under a [`persist::WriteStripes`]
+//!   stripe makes a fuzzy scan plus the log tail converge to the final
+//!   table — the invariant behind both snapshots and replicas.
+#![cfg(cuckoo_model)]
+
+use cuckoo::sync2::atomic::{AtomicU64, Ordering};
+use cuckoo::sync2::Mutex;
+use metrics::persist::PersistMetrics;
+use persist::commit::CommitQueue;
+use persist::record::Op;
+use persist::WriteStripes;
+use std::sync::Arc;
+
+fn set(tag: u64) -> Op {
+    Op::Set {
+        key: b"k".to_vec(),
+        flags: 0,
+        expires_at: 0,
+        cas: tag,
+        value: tag.to_le_bytes().to_vec(),
+    }
+}
+
+/// Two racing appenders: every schedule must hand out exactly LSNs
+/// {1, 2} with the buffer in LSN order — assignment and enqueue are one
+/// atomic step, so replica replay can trust file order. Bounded DFS.
+#[test]
+fn concurrent_appends_stay_dense_and_ordered() {
+    loom::explore(loom::Config::dfs(4_000), || {
+        let q = Arc::new(CommitQueue::new(0, 1 << 20));
+        let m = Arc::new(PersistMetrics::new());
+        let threads: Vec<_> = (0..2u64)
+            .map(|t| {
+                let (q, m) = (Arc::clone(&q), Arc::clone(&m));
+                loom::thread::spawn(move || q.append(&set(t), &m))
+            })
+            .collect();
+        let mut lsns: Vec<u64> =
+            threads.into_iter().map(|h| h.join().unwrap()).collect();
+        lsns.sort_unstable();
+        assert_eq!(lsns, [1, 2], "LSNs must be dense, no gap and no dup");
+        assert_eq!(q.last_lsn(), 2);
+        let batch = q.pop_batch();
+        assert_eq!(batch.len(), 2);
+        assert!(batch[0].lsn < batch[1].lsn, "buffer out of LSN order");
+    })
+    .expect("no schedule may tear LSN assignment");
+}
+
+/// An appender races the writer's drain/mark cycle; the watermark chain
+/// `durable ≤ written ≤ last` must hold at every point either thread
+/// can observe it. Bounded DFS.
+#[test]
+fn watermarks_never_cross_under_a_racing_writer() {
+    loom::explore(loom::Config::dfs(4_000), || {
+        let q = Arc::new(CommitQueue::new(0, 1 << 20));
+        let m = Arc::new(PersistMetrics::new());
+        let appender = {
+            let (q, m) = (Arc::clone(&q), Arc::clone(&m));
+            loom::thread::spawn(move || {
+                q.append(&set(1), &m);
+                let (d, w, l) = (q.durable_lsn(), q.written_lsn(), q.last_lsn());
+                assert!(d <= w && w <= l, "watermarks crossed: {d} {w} {l}");
+            })
+        };
+        let writer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                for _ in 0..2 {
+                    let batch = q.pop_batch();
+                    if let Some(last) = batch.last() {
+                        q.mark_written(last.lsn);
+                        q.mark_durable(last.lsn);
+                    }
+                    let (d, w, l) = (q.durable_lsn(), q.written_lsn(), q.last_lsn());
+                    assert!(d <= w && w <= l, "watermarks crossed: {d} {w} {l}");
+                }
+            })
+        };
+        appender.join().unwrap();
+        writer.join().unwrap();
+    })
+    .expect("watermark ordering must hold in every schedule");
+}
+
+/// An appender parked in backpressure (1-byte bound: the second append
+/// cannot fit) races `begin_shutdown` + drain. Every schedule must
+/// terminate with both records enqueued — shutdown releases the wait
+/// rather than deadlocking the drain. Seeded random walks (the spin
+/// loop makes DFS explode).
+#[test]
+fn shutdown_releases_backpressured_appenders() {
+    loom::explore(loom::config_from_env(loom::Config::random(0xd00d, 300)), || {
+        let q = Arc::new(CommitQueue::new(0, 1));
+        let m = Arc::new(PersistMetrics::new());
+        let appender = {
+            let (q, m) = (Arc::clone(&q), Arc::clone(&m));
+            loom::thread::spawn(move || {
+                q.append(&set(1), &m);
+                q.append(&set(2), &m); // over bound: parks until shutdown
+            })
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || q.begin_shutdown())
+        };
+        closer.join().unwrap();
+        appender.join().unwrap();
+        let drained: Vec<u64> = q.pop_batch().iter().map(|r| r.lsn).collect();
+        assert_eq!(drained, [1, 2]);
+    })
+    .expect("shutdown must release appenders parked on the byte bound");
+}
+
+/// The convergence kernel behind fuzzy snapshots *and* replica
+/// bootstrap. Two writers update one key with apply-to-map *then*
+/// append-to-log under the key's write stripe; a scanner concurrently
+/// takes a fuzzy image the way the snapshot/bootstrap path does: read
+/// the cutoff first, then the map (no stripe held). Replaying
+/// {image} + {log entries past the cutoff} must land on the final map
+/// value in every schedule. Remove the stripe (or log before applying)
+/// and schedules exist where it does not. Bounded DFS.
+#[test]
+fn fuzzy_scan_plus_log_tail_converges_to_the_table() {
+    loom::explore(loom::Config::dfs(8_000), || {
+        let stripes = Arc::new(WriteStripes::new(1));
+        let map = Arc::new(AtomicU64::new(0));
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let writers: Vec<_> = [7u64, 9u64]
+            .into_iter()
+            .map(|v| {
+                let (stripes, map, log) =
+                    (Arc::clone(&stripes), Arc::clone(&map), Arc::clone(&log));
+                loom::thread::spawn(move || {
+                    let _stripe = stripes.lock_key(b"k");
+                    map.store(v, Ordering::Release);
+                    log.lock().unwrap().push(v);
+                })
+            })
+            .collect();
+        let scanner = {
+            let (map, log) = (Arc::clone(&map), Arc::clone(&log));
+            loom::thread::spawn(move || {
+                // Cutoff first, image second — the snapshot_cycle order.
+                let cutoff = log.lock().unwrap().len();
+                let image = map.load(Ordering::Acquire);
+                (cutoff, image)
+            })
+        };
+        let (cutoff, image) = scanner.join().unwrap();
+        for w in writers {
+            w.join().unwrap();
+        }
+
+        let log = log.lock().unwrap();
+        let replayed = log[cutoff..].last().copied().unwrap_or(image);
+        let table = map.load(Ordering::Acquire);
+        assert_eq!(
+            replayed, table,
+            "image {image} + tail {:?} diverged from table {table}",
+            &log[cutoff..]
+        );
+    })
+    .expect("fuzzy scan + log tail must converge in every schedule");
+}

@@ -29,6 +29,10 @@ pub enum PumpResult {
     Open { progress: bool },
     /// Closed (quit, EOF, fatal protocol error, or I/O error).
     Closed,
+    /// The client sent `replicate <lsn>`: stop pumping and hand the
+    /// socket to a replication feeder thread
+    /// (see [`Conn::handoff_parts`]).
+    Replicate { lsn: u64 },
 }
 
 pub struct Conn {
@@ -39,11 +43,26 @@ pub struct Conn {
     wpos: usize,
     /// Stop reading; flush what is queued, then close.
     closing: bool,
+    /// Set when a `replicate` command asks for a feeder handoff.
+    handoff: Option<u64>,
 }
 
 impl Conn {
     pub fn new(stream: TcpStream) -> Self {
-        Conn { stream, rbuf: Vec::new(), wbuf: Vec::new(), wpos: 0, closing: false }
+        Conn { stream, rbuf: Vec::new(), wbuf: Vec::new(), wpos: 0, closing: false, handoff: None }
+    }
+
+    /// Duplicates the socket and takes the unflushed response bytes so a
+    /// feeder thread can own the connection from here on (responses to
+    /// requests pipelined ahead of `replicate` flush first, then the
+    /// stream turns into a one-way record feed). The `Conn` itself
+    /// should be dropped afterwards.
+    pub fn handoff_parts(&mut self) -> std::io::Result<(TcpStream, Vec<u8>)> {
+        let stream = self.stream.try_clone()?;
+        let pending = self.wbuf[self.wpos..].to_vec();
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok((stream, pending))
     }
 
     /// One service cycle. Never blocks.
@@ -57,6 +76,9 @@ impl Conn {
                 Err(FillEnd::Fatal) => return PumpResult::Closed,
             }
             progress |= self.drain_requests(ctx);
+            if let Some(lsn) = self.handoff.take() {
+                return PumpResult::Replicate { lsn };
+            }
         }
 
         match self.flush() {
@@ -124,14 +146,15 @@ impl Conn {
     fn drain_requests(&mut self, ctx: &ServerCtx) -> bool {
         let mut consumed = 0;
         let mut any = false;
-        while !self.closing {
+        while !self.closing && self.handoff.is_none() {
             match proto::parse(&self.rbuf[consumed..]) {
                 Parsed::Ok { request, consumed: used } => {
                     any = true;
-                    let quit = execute(&request, ctx, &mut self.wbuf);
                     consumed += used;
-                    if quit {
-                        self.closing = true;
+                    match execute(&request, ctx, &mut self.wbuf) {
+                        Action::Continue => {}
+                        Action::Quit => self.closing = true,
+                        Action::Replicate { lsn } => self.handoff = Some(lsn),
                     }
                 }
                 Parsed::Incomplete => break,
@@ -192,9 +215,34 @@ enum FillEnd {
     Fatal,
 }
 
-/// Executes one request, appending the response to `out`. Returns `true`
-/// for `quit`.
-fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
+/// What [`execute`] asks the connection to do next.
+enum Action {
+    Continue,
+    /// `quit`: flush and close.
+    Quit,
+    /// `replicate <lsn>`: hand the socket to a feeder thread.
+    Replicate { lsn: u64 },
+}
+
+/// Executes one request, appending the response to `out`.
+fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> Action {
+    // A replica refuses client mutations until promoted; replicated ops
+    // arrive through the applier, not this path. (With `noreply` the
+    // refusal is silent — the reply stream must stay in sync.)
+    if ctx.is_read_only() {
+        let refused = match req {
+            Request::Store { noreply, .. }
+            | Request::Delete { noreply, .. }
+            | Request::FlushAll { noreply, .. } => Some(*noreply),
+            _ => None,
+        };
+        if let Some(noreply) = refused {
+            if !noreply {
+                proto::encode_line(out, "SERVER_ERROR replica is read-only");
+            }
+            return Action::Continue;
+        }
+    }
     let t0 = Instant::now();
     let class = match req {
         Request::Get { keys, with_cas } => {
@@ -238,7 +286,7 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
                 proto::encode_line(
                     out,
                     match outcome {
-                        StoreOutcome::Stored => "STORED",
+                        StoreOutcome::Stored { .. } => "STORED",
                         StoreOutcome::NotStored => "NOT_STORED",
                         StoreOutcome::TooLarge => "SERVER_ERROR object too large for cache",
                     },
@@ -283,12 +331,45 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> bool {
             }
             OpClass::Other
         }
+        Request::FlushAll { delay, noreply } => {
+            if *delay != 0 {
+                // A delayed flush is a timer, not an op — it cannot be
+                // replayed deterministically from the log, so it is
+                // refused rather than approximated.
+                if !noreply {
+                    proto::encode_line(out, "SERVER_ERROR delayed flush_all is not supported");
+                }
+            } else {
+                ctx.store.flush_all();
+                if !noreply {
+                    proto::encode_line(out, "OK");
+                }
+            }
+            OpClass::Other
+        }
+        Request::Replicate { lsn } => {
+            if ctx.persist.is_none() {
+                proto::encode_line(out, "SERVER_ERROR replication requires --data-dir");
+                OpClass::Other
+            } else {
+                // The feeder thread writes the handshake reply; nothing
+                // is encoded here.
+                return Action::Replicate { lsn: *lsn };
+            }
+        }
+        Request::Promote => {
+            proto::encode_line(
+                out,
+                if ctx.promote() { "OK" } else { "SERVER_ERROR not a replica" },
+            );
+            OpClass::Other
+        }
         Request::Version => {
             proto::encode_line(out, &format!("VERSION {}", crate::VERSION));
             OpClass::Other
         }
-        Request::Quit => return true,
+        Request::Quit => return Action::Quit,
     };
     ctx.stats.record(class, t0.elapsed().as_nanos() as u64);
-    false
+    Action::Continue
 }

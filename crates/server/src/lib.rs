@@ -28,7 +28,9 @@
 //! ```
 
 pub mod conn;
+pub mod persist_store;
 pub mod proto;
+pub mod repl;
 pub mod server;
 pub mod signal;
 pub mod stats;
@@ -86,6 +88,22 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Config, String> 
                     .map_err(|_| "bad thread count".to_string())?;
             }
             "--no-evict" => config.no_evict = true,
+            "-d" | "--data-dir" => {
+                config.data_dir = Some(value_for(&arg, &mut args)?.into());
+            }
+            "--fsync-interval-ms" => {
+                config.fsync_interval_ms = value_for(&arg, &mut args)?
+                    .parse()
+                    .map_err(|_| "bad fsync interval".to_string())?;
+            }
+            "--snapshot-interval-secs" => {
+                config.snapshot_interval_secs = value_for(&arg, &mut args)?
+                    .parse()
+                    .map_err(|_| "bad snapshot interval".to_string())?;
+            }
+            "--replica-of" => {
+                config.replica_of = Some(value_for(&arg, &mut args)?);
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -105,6 +123,17 @@ OPTIONS:
   -t, --threads <N>       worker threads (default: one per core)
       --no-evict          unbounded CuckooMap store instead of the
                           CLOCK cache (arbitrary value sizes)
+  -d, --data-dir <DIR>    enable durability: append-only op log +
+                          snapshots in DIR; warm restart replays them
+      --fsync-interval-ms <MS>
+                          group-commit window (default 5): max
+                          acknowledged-but-lost ops on kill -9
+      --snapshot-interval-secs <SECS>
+                          log compaction cadence (default 60; 0 = only
+                          at shutdown)
+      --replica-of <HOST:PORT>
+                          follow a primary read-only until `promote`
+                          (requires --data-dir)
   -h, --help              this text";
 
 #[cfg(test)]
@@ -125,5 +154,31 @@ mod tests {
         assert!(cfg.no_evict);
         assert!(parse_args(["--bogus"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_args(["--port"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn persistence_args_parse() {
+        let cfg = parse_args(
+            [
+                "--data-dir",
+                "/tmp/cuckood-data",
+                "--fsync-interval-ms",
+                "2",
+                "--snapshot-interval-secs",
+                "0",
+                "--replica-of",
+                "127.0.0.1:11222",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(cfg.data_dir.as_deref(), Some(std::path::Path::new("/tmp/cuckood-data")));
+        assert_eq!(cfg.fsync_interval_ms, 2);
+        assert_eq!(cfg.snapshot_interval_secs, 0);
+        assert_eq!(cfg.replica_of.as_deref(), Some("127.0.0.1:11222"));
+        let cfg = parse_args(std::iter::empty()).unwrap();
+        assert!(cfg.data_dir.is_none());
+        assert!(cfg.replica_of.is_none());
     }
 }

@@ -97,6 +97,17 @@ pub enum Request<'a> {
     },
     /// `delete <key> [noreply]`
     Delete { key: &'a [u8], noreply: bool },
+    /// `flush_all [delay] [noreply]` — drop every item. Delayed flushes
+    /// (`delay > 0`) are parsed but refused at execution; they cannot be
+    /// replayed deterministically from the op log.
+    FlushAll { delay: u32, noreply: bool },
+    /// `replicate <lsn>` — replication handshake: this connection stops
+    /// being a request/response channel and becomes a one-way feed of op
+    /// log records starting after the replica's last-applied LSN.
+    Replicate { lsn: u64 },
+    /// `promote` — a replica detaches from its primary and starts
+    /// accepting writes.
+    Promote,
     /// `stats [cuckoo|prometheus|reset]`
     Stats { arg: StatsArg },
     /// `version`
@@ -303,6 +314,65 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
             }
             Parsed::Ok { request: Request::Stats { arg }, consumed: line_end }
         }
+        b"flush_all" => {
+            let mut delay = 0u32;
+            let mut noreply = false;
+            match toks.next() {
+                None => {}
+                Some(b"noreply") => noreply = true,
+                Some(tok) => {
+                    delay = match parse_u32(tok, "flush_all delay", line_end) {
+                        Ok(v) => v,
+                        Err(e) => return Parsed::Err(e),
+                    };
+                    match toks.next() {
+                        None => {}
+                        Some(b"noreply") => noreply = true,
+                        Some(_) => {
+                            return Parsed::Err(ProtoError::client(
+                                "bad flush_all arguments",
+                                Some(line_end),
+                            ))
+                        }
+                    }
+                }
+            }
+            if toks.next().is_some() {
+                return Parsed::Err(ProtoError::client(
+                    "bad flush_all arguments",
+                    Some(line_end),
+                ));
+            }
+            Parsed::Ok { request: Request::FlushAll { delay, noreply }, consumed: line_end }
+        }
+        b"replicate" => {
+            let Some(tok) = toks.next() else {
+                return Parsed::Err(ProtoError::client(
+                    "replicate requires an lsn",
+                    Some(line_end),
+                ));
+            };
+            let lsn = match parse_u64(tok, "lsn", line_end) {
+                Ok(v) => v,
+                Err(e) => return Parsed::Err(e),
+            };
+            if toks.next().is_some() {
+                return Parsed::Err(ProtoError::client(
+                    "bad replicate arguments",
+                    Some(line_end),
+                ));
+            }
+            Parsed::Ok { request: Request::Replicate { lsn }, consumed: line_end }
+        }
+        b"promote" => {
+            if toks.next().is_some() {
+                return Parsed::Err(ProtoError::client(
+                    "promote takes no arguments",
+                    Some(line_end),
+                ));
+            }
+            Parsed::Ok { request: Request::Promote, consumed: line_end }
+        }
         b"version" => Parsed::Ok { request: Request::Version, consumed: line_end },
         b"quit" => Parsed::Ok { request: Request::Quit, consumed: line_end },
         _ => Parsed::Err(ProtoError::unknown(line_end)),
@@ -470,6 +540,23 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
             }
             out.extend_from_slice(b"\r\n");
         }
+        Request::FlushAll { delay, noreply } => {
+            out.extend_from_slice(b"flush_all");
+            if *delay != 0 {
+                out.push(b' ');
+                out.extend_from_slice(fmt_u64(*delay as u64, &mut num));
+            }
+            if *noreply {
+                out.extend_from_slice(b" noreply");
+            }
+            out.extend_from_slice(b"\r\n");
+        }
+        Request::Replicate { lsn } => {
+            out.extend_from_slice(b"replicate ");
+            out.extend_from_slice(fmt_u64(*lsn, &mut num));
+            out.extend_from_slice(b"\r\n");
+        }
+        Request::Promote => out.extend_from_slice(b"promote\r\n"),
         Request::Version => out.extend_from_slice(b"version\r\n"),
         Request::Quit => out.extend_from_slice(b"quit\r\n"),
     }
@@ -531,13 +618,48 @@ mod tests {
 
     #[test]
     fn unknown_command_is_recoverable() {
-        match parse(b"flush_all\r\nversion\r\n") {
+        match parse(b"incr k 1\r\nversion\r\n") {
             Parsed::Err(e) => {
                 assert_eq!(e.kind, ErrorKind::UnknownCommand);
-                assert_eq!(e.recover_by, Some(11));
+                assert_eq!(e.recover_by, Some(10));
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn flush_all_parses_all_forms() {
+        for (line, delay, noreply) in [
+            (&b"flush_all\r\n"[..], 0u32, false),
+            (b"flush_all noreply\r\n", 0, true),
+            (b"flush_all 30\r\n", 30, false),
+            (b"flush_all 30 noreply\r\n", 30, true),
+        ] {
+            match parse(line) {
+                Parsed::Ok { request: Request::FlushAll { delay: d, noreply: n }, consumed } => {
+                    assert_eq!((d, n), (delay, noreply), "{line:?}");
+                    assert_eq!(consumed, line.len());
+                }
+                other => panic!("{line:?}: {other:?}"),
+            }
+        }
+        assert!(matches!(parse(b"flush_all x\r\n"), Parsed::Err(_)));
+        assert!(matches!(parse(b"flush_all 1 2\r\n"), Parsed::Err(_)));
+    }
+
+    #[test]
+    fn replicate_and_promote_parse() {
+        match parse(b"replicate 42\r\n") {
+            Parsed::Ok { request: Request::Replicate { lsn }, .. } => assert_eq!(lsn, 42),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse(b"replicate\r\n"), Parsed::Err(_)));
+        assert!(matches!(parse(b"replicate x\r\n"), Parsed::Err(_)));
+        assert!(matches!(
+            parse(b"promote\r\n"),
+            Parsed::Ok { request: Request::Promote, .. }
+        ));
+        assert!(matches!(parse(b"promote now\r\n"), Parsed::Err(_)));
     }
 
     #[test]

@@ -27,9 +27,12 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::conn::{Conn, PumpResult};
+use crate::persist_store::PersistentStore;
 use crate::signal;
 use crate::stats::ServerStats;
 use crate::store::{ClockStore, CuckooStore, Store};
+use metrics::persist::PersistMetrics;
+use persist::PersistConfig;
 
 /// How long a draining shutdown waits for connections to finish.
 pub const DRAIN_LIMIT: Duration = Duration::from_secs(5);
@@ -50,6 +53,18 @@ pub struct Config {
     pub workers: usize,
     /// Use the unbounded `CuckooMap` store instead of the CLOCK cache.
     pub no_evict: bool,
+    /// Durability: op log + snapshots live here; `None` disables
+    /// persistence entirely.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Group-commit fsync cadence in milliseconds (the maximum
+    /// acknowledged-but-lost window on `kill -9`).
+    pub fsync_interval_ms: u64,
+    /// Background snapshot/compaction cadence in seconds (0 = only at
+    /// shutdown).
+    pub snapshot_interval_secs: u64,
+    /// Start as a read-only replica of `host:port` (requires
+    /// `data_dir`). Writes are refused until `promote`.
+    pub replica_of: Option<String>,
 }
 
 impl Default for Config {
@@ -60,6 +75,10 @@ impl Default for Config {
             capacity: 1 << 20,
             workers: 0,
             no_evict: false,
+            data_dir: None,
+            fsync_interval_ms: 5,
+            snapshot_interval_secs: 60,
+            replica_of: None,
         }
     }
 }
@@ -67,15 +86,44 @@ impl Default for Config {
 /// Shared state every worker sees.
 pub struct ServerCtx {
     pub store: Arc<dyn Store>,
+    /// The same store, concretely typed, when persistence is on — the
+    /// replication feeder/applier need the persister and
+    /// `apply_replicated`, which `dyn Store` does not expose.
+    pub persist: Option<Arc<PersistentStore>>,
     pub stats: ServerStats,
     pub workers: usize,
     shutdown: AtomicBool,
+    /// True while this node follows a primary; client writes are refused.
+    read_only: AtomicBool,
+    /// Flipped by `promote`: the applier detaches and stays detached.
+    promoted: AtomicBool,
+    /// Live replication feeds (backs the `replicas_connected` gauge).
+    pub feeders: std::sync::atomic::AtomicU64,
 }
 
 impl ServerCtx {
     /// Shutdown requested, by handle or by signal.
     pub fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// `promote`: stop following the primary, start taking writes.
+    /// Returns `false` when this node was not a replica.
+    pub fn promote(&self) -> bool {
+        let was_replica = self.read_only.swap(false, Ordering::AcqRel);
+        if was_replica {
+            self.promoted.store(true, Ordering::Release);
+        }
+        was_replica
+    }
+
+    /// The applier polls this to know when to detach.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
     }
 }
 
@@ -88,6 +136,7 @@ pub struct ServerHandle {
     local_addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    applier: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -101,7 +150,10 @@ impl ServerHandle {
         &self.ctx
     }
 
-    /// Requests a graceful drain and joins every thread.
+    /// Requests a graceful drain and joins every thread. With
+    /// persistence on, the drain ends by fsyncing the op log, writing a
+    /// final snapshot, and leaving the clean-shutdown marker — the next
+    /// start skips replay entirely.
     pub fn shutdown(mut self) {
         self.ctx.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
@@ -110,20 +162,57 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.applier.take() {
+            let _ = h.join();
+        }
+        // Every appender (workers, applier) is quiesced; seal the log.
+        if let Err(e) = self.ctx.store.persist_shutdown() {
+            eprintln!("cuckood: persistence shutdown failed: {e}");
+        }
     }
 }
 
-/// Builds the store named by `config`.
-fn make_store(config: &Config) -> Arc<dyn Store> {
-    if config.no_evict {
+/// The serving store plus, when `--data-dir` is set, the persistence
+/// decorator for shutdown/replication wiring.
+type BuiltStore = (Arc<dyn Store>, Option<Arc<PersistentStore>>);
+
+/// Builds the store named by `config`: the engine, optionally wrapped in
+/// the persistence decorator (which replays the data directory into the
+/// engine before anything is served).
+fn make_store(config: &Config) -> std::io::Result<BuiltStore> {
+    let engine: Arc<dyn Store> = if config.no_evict {
         Arc::new(CuckooStore::new(config.capacity))
     } else {
         Arc::new(ClockStore::new(config.capacity))
+    };
+    let Some(dir) = &config.data_dir else {
+        return Ok((engine, None));
+    };
+    let mut pcfg = PersistConfig::new(dir);
+    pcfg.fsync_interval = Duration::from_millis(config.fsync_interval_ms);
+    pcfg.snapshot_interval = Duration::from_secs(config.snapshot_interval_secs);
+    let (store, recovered) =
+        PersistentStore::open(engine, pcfg, Arc::new(PersistMetrics::new()))?;
+    if recovered.replayed > 0 || !recovered.entries.is_empty() {
+        eprintln!(
+            "cuckood: warm restart from {}: {} entries, {} log records replayed ({})",
+            dir.display(),
+            recovered.entries.len(),
+            recovered.replayed,
+            if recovered.clean { "clean shutdown" } else { "crash recovery" },
+        );
     }
+    Ok((Arc::clone(&store) as Arc<dyn Store>, Some(store)))
 }
 
 /// Binds and spawns the accept and worker threads.
 pub fn spawn(config: Config) -> std::io::Result<ServerHandle> {
+    if config.replica_of.is_some() && config.data_dir.is_none() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "--replica-of requires --data-dir (a replica is durable in its own right)",
+        ));
+    }
     let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -134,11 +223,20 @@ pub fn spawn(config: Config) -> std::io::Result<ServerHandle> {
         config.workers
     };
 
+    let (store, persist) = make_store(&config)?;
     let ctx = Arc::new(ServerCtx {
-        store: make_store(&config),
+        store,
+        persist,
         stats: ServerStats::new(),
         workers,
         shutdown: AtomicBool::new(false),
+        read_only: AtomicBool::new(config.replica_of.is_some()),
+        promoted: AtomicBool::new(false),
+        feeders: std::sync::atomic::AtomicU64::new(0),
+    });
+
+    let applier = config.replica_of.as_ref().map(|primary| {
+        crate::repl::spawn_applier(primary.clone(), Arc::clone(&ctx))
     });
 
     let mut senders = Vec::with_capacity(workers);
@@ -161,7 +259,7 @@ pub fn spawn(config: Config) -> std::io::Result<ServerHandle> {
         .spawn(move || accept_loop(listener, senders, accept_ctx))
         .expect("spawn acceptor");
 
-    Ok(ServerHandle { ctx, local_addr, accept: Some(accept), workers: handles })
+    Ok(ServerHandle { ctx, local_addr, accept: Some(accept), workers: handles, applier })
 }
 
 // mpsc::channel with the type spelled once.
@@ -222,6 +320,19 @@ fn worker_loop(rx: mpsc::Receiver<TcpStream>, ctx: Arc<ServerCtx>) {
             PumpResult::Closed => {
                 ctx.stats.curr_connections.fetch_sub(1, Ordering::Relaxed);
                 progress = true;
+                false
+            }
+            PumpResult::Replicate { lsn } => {
+                // The socket leaves this worker's shard and becomes a
+                // dedicated (blocking) feeder thread.
+                ctx.stats.curr_connections.fetch_sub(1, Ordering::Relaxed);
+                progress = true;
+                match c.handoff_parts() {
+                    Ok((stream, pending)) => {
+                        crate::repl::spawn_feeder(stream, pending, lsn, Arc::clone(&ctx));
+                    }
+                    Err(e) => eprintln!("cuckood: replication handoff failed: {e}"),
+                }
                 false
             }
         });

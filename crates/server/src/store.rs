@@ -59,8 +59,11 @@ fn expired(deadline: u32, now: u32) -> bool {
 /// Result of a storage command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreOutcome {
-    /// `STORED`
-    Stored,
+    /// `STORED`. Carries the durable metadata the engine assigned —
+    /// the persistence layer logs exactly these values so replay and
+    /// replication reproduce the same cas and absolute deadline without
+    /// re-reading the table.
+    Stored { cas: u64, expires_at: u32 },
     /// `NOT_STORED` — `add` hit a present key / `replace` an absent one.
     NotStored,
     /// `SERVER_ERROR object too large for cache`
@@ -108,6 +111,25 @@ pub trait Store: Send + Sync + 'static {
         now: u32,
     ) -> StoreOutcome;
     fn delete(&self, key: &[u8]) -> bool;
+    /// `flush_all`: drops every item, returning how many went. Not
+    /// atomic against concurrent writers (memcached's isn't either);
+    /// the persistent wrapper serializes it against all writes.
+    fn flush_all(&self) -> u64;
+    /// Reinstates one recovered item verbatim — given cas, given
+    /// absolute deadline — and keeps the engine's cas allocator above
+    /// it. Only called before the server accepts connections (warm
+    /// restart) or from the replication applier.
+    fn restore(&self, key: &[u8], flags: u32, expires_at: u32, cas: u64, value: &[u8]);
+    /// One non-blocking pass over the table, pushing every live entry.
+    /// Returns `false` if a concurrent cuckoo displacement may have
+    /// hidden an entry from the pass — the caller must discard and
+    /// retry. Entries already expired at `now` are skipped.
+    fn scan_entries(&self, now: u32, out: &mut Vec<persist::Entry>) -> bool;
+    /// Graceful-drain hook: flush and fsync any durability tier. The
+    /// default (no persistence) is a no-op.
+    fn persist_shutdown(&self) -> std::io::Result<()> {
+        Ok(())
+    }
     fn stats(&self) -> StoreStats;
     /// Human label for the `stats` output.
     fn engine(&self) -> &'static str;
@@ -261,8 +283,9 @@ impl Store for ClockStore {
         now: u32,
     ) -> StoreOutcome {
         let h = self.hash_key(key);
-        let Some(entry) = InlineEntry::new(key, flags, deadline(exptime, now), self.next_cas(), data)
-        else {
+        let expires_at = deadline(exptime, now);
+        let cas = self.next_cas();
+        let Some(entry) = InlineEntry::new(key, flags, expires_at, cas, data) else {
             return StoreOutcome::TooLarge;
         };
         // Lazily reap an expired incumbent so add/replace see it as
@@ -282,7 +305,7 @@ impl Store for ClockStore {
             StoreVerb::Replace => self.cache.replace(h, entry),
         };
         if stored {
-            StoreOutcome::Stored
+            StoreOutcome::Stored { cas, expires_at }
         } else {
             StoreOutcome::NotStored
         }
@@ -295,6 +318,36 @@ impl Store for ClockStore {
             Some(e) if e.key() == key => self.cache.delete(h).is_some(),
             _ => false,
         }
+    }
+
+    fn flush_all(&self) -> u64 {
+        self.cache.flush()
+    }
+
+    fn restore(&self, key: &[u8], flags: u32, expires_at: u32, cas: u64, value: &[u8]) {
+        // An item that fit when logged can only fail here if it came
+        // from a foreign engine (replication across --no-evict and the
+        // bounded cache); dropping it matches the cache's contract.
+        let Some(entry) = InlineEntry::new(key, flags, expires_at, cas, value) else {
+            return;
+        };
+        self.cache.put(self.hash_key(key), entry);
+        // Future allocations must stay above every restored cas.
+        self.cas.fetch_max(cas + 1, Ordering::Relaxed);
+    }
+
+    fn scan_entries(&self, now: u32, out: &mut Vec<persist::Entry>) -> bool {
+        self.cache.scan(|_h, e| {
+            if !expired(e.expires_at, now) {
+                out.push(persist::Entry {
+                    key: e.key().to_vec(),
+                    flags: e.flags,
+                    expires_at: e.expires_at,
+                    cas: e.cas,
+                    value: e.value().to_vec(),
+                });
+            }
+        })
     }
 
     fn stats(&self) -> StoreStats {
@@ -461,12 +514,10 @@ impl Store for CuckooStore {
         data: &[u8],
         now: u32,
     ) -> StoreOutcome {
-        let item = Arc::new(StoredItem {
-            flags,
-            expires_at: deadline(exptime, now),
-            cas: self.cas.fetch_add(1, Ordering::Relaxed),
-            data: data.into(),
-        });
+        let expires_at = deadline(exptime, now);
+        let cas = self.cas.fetch_add(1, Ordering::Relaxed);
+        let item = Arc::new(StoredItem { flags, expires_at, cas, data: data.into() });
+        let stored = StoreOutcome::Stored { cas, expires_at };
         let owned: Box<[u8]> = key.into();
         match verb {
             StoreVerb::Set => {
@@ -478,7 +529,7 @@ impl Store for CuckooStore {
                         self.updates.fetch_add(1, Ordering::Relaxed)
                     }
                 };
-                StoreOutcome::Stored
+                stored
             }
             StoreVerb::Add => {
                 // Reap an expired incumbent first so `add` can win.
@@ -486,7 +537,7 @@ impl Store for CuckooStore {
                 match self.map.insert(owned, item) {
                     Ok(()) => {
                         self.inserts.fetch_add(1, Ordering::Relaxed);
-                        StoreOutcome::Stored
+                        stored
                     }
                     Err(_) => StoreOutcome::NotStored,
                 }
@@ -498,7 +549,7 @@ impl Store for CuckooStore {
                 match self.map.update(&owned, item) {
                     Some(_) => {
                         self.updates.fetch_add(1, Ordering::Relaxed);
-                        StoreOutcome::Stored
+                        stored
                     }
                     // Raced with a concurrent delete between the liveness
                     // check and the update.
@@ -516,6 +567,52 @@ impl Store for CuckooStore {
         } else {
             false
         }
+    }
+
+    fn flush_all(&self) -> u64 {
+        let mut flushed = 0u64;
+        // The map has no O(1) clear; drain by scan + remove, repeating
+        // until a displacement-clean pass finds nothing (the same loop
+        // `ClockCache::flush` runs — see there for why a dirty empty
+        // pass cannot be trusted).
+        loop {
+            let mut keys: Vec<Box<[u8]>> = Vec::new();
+            let clean = self.map.scan(|k, _| keys.push(k.clone()));
+            if keys.is_empty() && clean {
+                return flushed;
+            }
+            for k in keys {
+                if self.map.remove(&k).is_some() {
+                    self.deletes.fetch_add(1, Ordering::Relaxed);
+                    flushed += 1;
+                }
+            }
+        }
+    }
+
+    fn restore(&self, key: &[u8], flags: u32, expires_at: u32, cas: u64, value: &[u8]) {
+        let item = Arc::new(StoredItem { flags, expires_at, cas, data: value.into() });
+        if matches!(self.map.upsert(key.into(), item), cuckoo::UpsertOutcome::Inserted) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.updates.fetch_add(1, Ordering::Relaxed);
+        }
+        // Future allocations must stay above every restored cas.
+        self.cas.fetch_max(cas + 1, Ordering::Relaxed);
+    }
+
+    fn scan_entries(&self, now: u32, out: &mut Vec<persist::Entry>) -> bool {
+        self.map.scan(|k, item| {
+            if !expired(item.expires_at, now) {
+                out.push(persist::Entry {
+                    key: k.to_vec(),
+                    flags: item.flags,
+                    expires_at: item.expires_at,
+                    cas: item.cas,
+                    value: item.data.to_vec(),
+                });
+            }
+        })
     }
 
     fn stats(&self) -> StoreStats {
@@ -553,26 +650,29 @@ impl Store for CuckooStore {
 mod tests {
     use super::*;
 
+    fn stored(outcome: StoreOutcome) -> bool {
+        matches!(outcome, StoreOutcome::Stored { .. })
+    }
+
     fn check_common(store: &dyn Store) {
         let now = 1000;
         assert!(store.get(b"k", now).is_none());
-        assert_eq!(
-            store.store(StoreVerb::Set, b"k", 7, 0, b"value", now),
-            StoreOutcome::Stored
-        );
+        let outcome = store.store(StoreVerb::Set, b"k", 7, 0, b"value", now);
         let item = store.get(b"k", now).expect("stored item readable");
         assert_eq!(item.flags, 7);
         assert_eq!(item.data, b"value");
+        // The outcome reports the exact metadata the engine committed.
+        assert_eq!(
+            outcome,
+            StoreOutcome::Stored { cas: item.cas, expires_at: 0 }
+        );
 
         // add fails on present, replace succeeds.
         assert_eq!(
             store.store(StoreVerb::Add, b"k", 0, 0, b"x", now),
             StoreOutcome::NotStored
         );
-        assert_eq!(
-            store.store(StoreVerb::Replace, b"k", 1, 0, b"y", now),
-            StoreOutcome::Stored
-        );
+        assert!(stored(store.store(StoreVerb::Replace, b"k", 1, 0, b"y", now)));
         assert_eq!(store.get(b"k", now).unwrap().data, b"y");
 
         // replace fails on absent, add succeeds.
@@ -580,34 +680,29 @@ mod tests {
             store.store(StoreVerb::Replace, b"nope", 0, 0, b"x", now),
             StoreOutcome::NotStored
         );
-        assert_eq!(
-            store.store(StoreVerb::Add, b"fresh", 0, 0, b"x", now),
-            StoreOutcome::Stored
-        );
+        assert!(stored(store.store(StoreVerb::Add, b"fresh", 0, 0, b"x", now)));
 
         // delete.
         assert!(store.delete(b"k"));
         assert!(!store.delete(b"k"));
         assert!(store.get(b"k", now).is_none());
 
-        // relative expiry: live at now, gone after the deadline.
+        // relative expiry: live at now, gone after the deadline — and
+        // the outcome carries the resolved absolute deadline.
         assert_eq!(
             store.store(StoreVerb::Set, b"ttl", 0, 10, b"v", now),
-            StoreOutcome::Stored
+            StoreOutcome::Stored {
+                cas: store.get(b"ttl", now).unwrap().cas,
+                expires_at: now + 10
+            }
         );
         assert!(store.get(b"ttl", now + 9).is_some());
         assert!(store.get(b"ttl", now + 10).is_none(), "expired item served");
         assert!(store.stats().cache.expirations >= 1);
 
         // an expired incumbent does not block add.
-        assert_eq!(
-            store.store(StoreVerb::Set, b"ttl2", 0, 10, b"v", now),
-            StoreOutcome::Stored
-        );
-        assert_eq!(
-            store.store(StoreVerb::Add, b"ttl2", 0, 0, b"w", now + 100),
-            StoreOutcome::Stored
-        );
+        assert!(stored(store.store(StoreVerb::Set, b"ttl2", 0, 10, b"v", now)));
+        assert!(stored(store.store(StoreVerb::Add, b"ttl2", 0, 0, b"w", now + 100)));
         assert_eq!(store.get(b"ttl2", now + 100).unwrap().data, b"w");
 
         // cas values increase across stores.
@@ -643,6 +738,35 @@ mod tests {
             "expired item served by get_many"
         );
         assert!(store.stats().cache.expirations > exp_before);
+
+        // scan_entries sees exactly the live items, with their cas.
+        let mut entries = Vec::new();
+        while !{
+            entries.clear();
+            store.scan_entries(now, &mut entries)
+        } {}
+        let by_key: std::collections::HashMap<_, _> =
+            entries.iter().map(|e| (e.key.clone(), e)).collect();
+        assert!(by_key.contains_key(b"c1".as_slice()));
+        assert!(by_key.contains_key(b"fresh".as_slice()));
+        assert!(!by_key.contains_key(b"k".as_slice()), "deleted key scanned");
+        assert_eq!(by_key[b"c1".as_slice()].cas, store.get(b"c1", now).unwrap().cas);
+
+        // restore reinstates an item verbatim and cas allocation resumes
+        // above it.
+        store.restore(b"warm", 3, 0, 1_000_000, b"restored");
+        let item = store.get(b"warm", now).unwrap();
+        assert_eq!((item.flags, item.cas, item.data.as_slice()), (3, 1_000_000, b"restored".as_slice()));
+        match store.store(StoreVerb::Set, b"after-warm", 0, 0, b"v", now) {
+            StoreOutcome::Stored { cas, .. } => assert!(cas > 1_000_000),
+            other => panic!("{other:?}"),
+        }
+
+        // flush_all empties the table.
+        assert!(store.flush_all() > 0);
+        assert!(store.get(b"fresh", now).is_none());
+        assert!(store.get(b"warm", now).is_none());
+        assert_eq!(store.stats().len, 0);
     }
 
     #[test]
@@ -671,7 +795,7 @@ mod tests {
             StoreOutcome::TooLarge
         );
         let val = vec![1u8; INLINE_DATA - 200];
-        assert_eq!(s.store(StoreVerb::Set, &key, 0, 0, &val, 0), StoreOutcome::Stored);
+        assert!(stored(s.store(StoreVerb::Set, &key, 0, 0, &val, 0)));
         assert_eq!(s.get(&key, 0).unwrap().data, val);
     }
 
@@ -679,7 +803,7 @@ mod tests {
     fn cuckoo_store_takes_large_items() {
         let s = CuckooStore::new(64);
         let big = vec![7u8; 100_000];
-        assert_eq!(s.store(StoreVerb::Set, b"big", 0, 0, &big, 0), StoreOutcome::Stored);
+        assert!(stored(s.store(StoreVerb::Set, b"big", 0, 0, &big, 0)));
         assert_eq!(s.get(b"big", 0).unwrap().data, big);
     }
 
@@ -692,10 +816,7 @@ mod tests {
         let mut n = 0u64;
         while !s.map.is_migrating() {
             let key = format!("key-{n}");
-            assert_eq!(
-                s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0),
-                StoreOutcome::Stored
-            );
+            assert!(stored(s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0)));
             n += 1;
             assert!(n < 1_000_000, "never observed a migration in flight");
         }
@@ -719,10 +840,7 @@ mod tests {
         let s = ClockStore::new(128);
         for i in 0..10_000u64 {
             let key = format!("key-{i}");
-            assert_eq!(
-                s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0),
-                StoreOutcome::Stored
-            );
+            assert!(stored(s.store(StoreVerb::Set, key.as_bytes(), 0, 0, b"v", 0)));
         }
         let st = s.stats();
         assert!(st.len <= st.capacity);

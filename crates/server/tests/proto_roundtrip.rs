@@ -85,6 +85,24 @@ proptest! {
         assert_roundtrip(&wire, &req)?;
     }
 
+    /// `flush_all`, `replicate`, and `promote` round-trip.
+    #[test]
+    fn roundtrip_admin(delay in any::<u32>(), noreply in any::<bool>(), lsn in any::<u64>()) {
+        let flush = Request::FlushAll { delay, noreply };
+        let mut wire = Vec::new();
+        encode_request(&mut wire, &flush);
+        assert_roundtrip(&wire, &flush)?;
+
+        let rep = Request::Replicate { lsn };
+        wire.clear();
+        encode_request(&mut wire, &rep);
+        assert_roundtrip(&wire, &rep)?;
+
+        wire.clear();
+        encode_request(&mut wire, &Request::Promote);
+        assert_roundtrip(&wire, &Request::Promote)?;
+    }
+
     /// Every strict prefix of a valid request is `Incomplete`: the parser
     /// neither invents a request from partial bytes nor misreads a
     /// partial frame as a protocol error.
@@ -223,7 +241,7 @@ fn malformed_corpus_is_classified_and_never_panics() {
     let long_key = format!("get {}\r\n", "k".repeat(251));
     let unterminated = vec![b'a'; MAX_LINE + 1];
     let corpus: Vec<(&[u8], Expect, &str)> = vec![
-        (b"flush_all\r\n", Expect::Unknown, "unsupported command"),
+        (b"incr k 1\r\n", Expect::Unknown, "unsupported command"),
         (b"\r\n", Expect::Unknown, "blank line"),
         (b"  \r\n", Expect::Unknown, "spaces-only line"),
         (b"\xff\xfe garbage \x01\r\n", Expect::Unknown, "binary junk command"),
