@@ -65,7 +65,8 @@ pub use hash::{DefaultHashBuilder, FxHasher64, RandomState, SipHashBuilder, SipH
 pub use htm::Plain;
 pub use map::{CuckooMap, ResizeMode};
 pub use memc3::{MemC3Config, MemC3Cuckoo, SearchKind, WriterLockKind};
-pub use optimistic::OptimisticCuckooMap;
+pub use optimistic::{Builder as OptimisticBuilder, OptimisticCuckooMap};
+pub use search::EvictionPolicy;
 pub use stats::{PathStats, PathStatsSnapshot, TableMetrics};
 
 /// The paper's default search budget `M`: maximum slots examined while

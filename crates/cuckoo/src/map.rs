@@ -42,7 +42,7 @@ use crate::error::{InsertError, UpsertOutcome};
 use crate::hash::DefaultHashBuilder;
 use crate::hashing::{hash_of, key_slots, slots_from_hash, KeySlots};
 use crate::raw::RawTable;
-use crate::search::{self, bfs, PathEntry};
+use crate::search::{self, bfs, exec, EvictionPolicy, PathEntry};
 use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
 use crate::stats::TableMetrics;
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
@@ -179,6 +179,8 @@ pub struct CuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder> {
     /// each migration wins. Always acquired *before* any stripe lock.
     resize_lock: Mutex<()>,
     resize_mode: ResizeMode,
+    /// How the insert slow path plans kick-out eviction (default BFS).
+    eviction: EvictionPolicy,
     stripes: LockStripes,
     hash_builder: S,
     count: ShardedCounter,
@@ -238,6 +240,14 @@ where
         map.resize_mode = mode;
         map
     }
+
+    /// Creates a map with an explicit [`EvictionPolicy`] for the insert
+    /// slow path (the default is [`EvictionPolicy::Bfs`]).
+    pub fn with_capacity_and_eviction(capacity: usize, policy: EvictionPolicy) -> Self {
+        let mut map = Self::with_capacity(capacity);
+        map.eviction = policy;
+        map
+    }
 }
 
 impl<K, V, const B: usize> Default for CuckooMap<K, V, B, DefaultHashBuilder>
@@ -262,6 +272,7 @@ where
             migration: AtomicPtr::new(std::ptr::null_mut()),
             resize_lock: Mutex::new(()),
             resize_mode: ResizeMode::Incremental,
+            eviction: EvictionPolicy::Bfs,
             stripes: LockStripes::new(DEFAULT_STRIPES),
             hash_builder: hasher,
             count: ShardedCounter::new(),
@@ -277,6 +288,11 @@ where
     /// How this map resizes.
     pub fn resize_mode(&self) -> ResizeMode {
         self.resize_mode
+    }
+
+    /// How the insert slow path plans kick-out eviction.
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
     }
 
     /// Whether an incremental expansion is currently in flight.
@@ -877,8 +893,19 @@ where
                 }
                 // Candidate pair full: displace within the new table.
                 let searched = search::with_scratch(|scratch| {
-                    bfs::search(new, ks.i1, ks.i2, self.max_search_slots, true, scratch)
-                        .map(|()| scratch.path.clone())
+                    let r = search::plan(
+                        self.eviction,
+                        new,
+                        ks.i1,
+                        ks.i2,
+                        self.max_search_slots,
+                        true,
+                        scratch,
+                    );
+                    if self.eviction != EvictionPolicy::Bfs {
+                        self.table_metrics.record_eviction(scratch, r.is_err());
+                    }
+                    r.map(|()| scratch.path.clone())
                 });
                 match searched {
                     Err(_) => {
@@ -927,11 +954,22 @@ where
                 }
             }
 
-            // Slow path: lock-free BFS over atomic metadata only (safe
-            // even for non-`Plain` keys — keys are never read).
+            // Slow path: lock-free path search over atomic metadata only
+            // (safe even for non-`Plain` keys — keys are never read).
             let searched = search::with_scratch(|scratch| {
-                bfs::search(raw, ks.i1, ks.i2, self.max_search_slots, true, scratch)
-                    .map(|()| scratch.path.clone())
+                let r = search::plan(
+                    self.eviction,
+                    raw,
+                    ks.i1,
+                    ks.i2,
+                    self.max_search_slots,
+                    true,
+                    scratch,
+                );
+                if self.eviction != EvictionPolicy::Bfs {
+                    self.table_metrics.record_eviction(scratch, r.is_err());
+                }
+                r.map(|()| scratch.path.clone())
             });
             match searched {
                 Err(_) => {
@@ -1005,42 +1043,28 @@ where
     /// inside every pair lock: a concurrent expansion, migration start,
     /// or emergency rebuild makes the step fail validation instead of
     /// displacing entries in a table that is being drained.
+    ///
+    /// Delegates to the shared hole-backwards executor
+    /// ([`exec::execute_hole_backwards`]) with the plain mover
+    /// ([`RawTable::move_entry`]): readers here are locked out, but the
+    /// destination-before-source discipline is uniform across tables —
+    /// this map used to clear the source first (`take_entry`) while its
+    /// comment claimed otherwise, exactly the drift the shared executor
+    /// exists to prevent.
     fn execute_path_on(
         &self,
         raw: &RawTable<K, V, B>,
         path: &[PathEntry],
         valid: impl Fn() -> bool,
     ) -> bool {
-        if path.len() < 2 {
-            return true;
-        }
-        for i in (0..path.len() - 1).rev() {
-            let src = path[i];
-            let dst = path[i + 1];
-            let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
-            if !valid() {
-                return false;
-            }
-            let sm = raw.meta(src.bucket);
-            let dm = raw.meta(dst.bucket);
-            let (ss, ds) = (src.slot as usize, dst.slot as usize);
-            if !sm.is_occupied(ss) || sm.partial(ss) != src.tag || dm.is_occupied(ds) {
-                return false;
-            }
-            // SAFETY: pair lock held; source occupied, destination empty.
-            // Destination written before source cleared (readers are
-            // locked, but the invariant costs nothing and keeps the
-            // discipline uniform).
-            unsafe {
-                let (k, v) = raw.take_entry(src.bucket, ss);
-                raw.write_entry(dst.bucket, ds, src.tag, k, v);
-            }
-            // Bumped under the pair lock so `scan` (one stripe at a
-            // time) observes the count move whenever an entry crosses
-            // stripes during a fuzzy snapshot.
-            self.displacements.fetch_add(1, Ordering::SeqCst);
-        }
-        true
+        exec::execute_hole_backwards(
+            raw,
+            Some(&self.stripes),
+            path,
+            &self.displacements,
+            valid,
+            RawTable::move_entry,
+        )
     }
 
     /// Doubles the table under the full-stripe lock and rehashes every

@@ -25,7 +25,7 @@ use crate::error::InsertError;
 use crate::hash::DefaultHashBuilder;
 use crate::hashing::{key_slots, KeySlots};
 use crate::raw::RawTable;
-use crate::search::{self, bfs, dfs, SearchScratch};
+use crate::search::{self, dfs, exec, EvictionPolicy, SearchScratch};
 use crate::stats::{PathStats, PathStatsSnapshot, TableMetrics};
 use crate::sync::{LockStripes, SpinLock, DEFAULT_STRIPES};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
@@ -75,6 +75,12 @@ pub struct MemC3Config {
     /// Stale-path retries before falling back to an in-critical-section
     /// search (lock-later mode only).
     pub path_retries: usize,
+    /// Kick-out eviction policy for [`SearchKind::Bfs`] configurations:
+    /// `Bfs` keeps the ladder's plain breadth-first search, while
+    /// `RandomWalk`/`Hybrid` substitute the high-density planners for
+    /// A/B factor analysis. Ignored by [`SearchKind::Dfs`] rungs (DFS
+    /// *is* a legacy random walk; the ladder keeps it verbatim).
+    pub eviction: EvictionPolicy,
 }
 
 impl MemC3Config {
@@ -88,6 +94,7 @@ impl MemC3Config {
             max_search_slots: DEFAULT_MAX_SEARCH_SLOTS,
             n_stripes: DEFAULT_STRIPES,
             path_retries: 16,
+            eviction: EvictionPolicy::Bfs,
         }
     }
 
@@ -118,6 +125,12 @@ impl MemC3Config {
     /// Overrides the search budget.
     pub fn with_search_budget(mut self, m: usize) -> Self {
         self.max_search_slots = m;
+        self
+    }
+
+    /// Selects the kick-out eviction policy (BFS configurations only).
+    pub fn with_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction = policy;
         self
     }
 }
@@ -344,15 +357,21 @@ where
             if !available {
                 self.path_stats.record_search();
                 let found = match self.config.search {
-                    SearchKind::Bfs => bfs::search(
-                        &self.raw,
-                        ks.i1,
-                        ks.i2,
-                        self.config.max_search_slots,
-                        self.config.prefetch,
-                        scratch,
-                    )
-                    .is_ok(),
+                    SearchKind::Bfs => {
+                        let r = search::plan(
+                            self.config.eviction,
+                            &self.raw,
+                            ks.i1,
+                            ks.i2,
+                            self.config.max_search_slots,
+                            self.config.prefetch,
+                            scratch,
+                        );
+                        if self.config.eviction != EvictionPolicy::Bfs {
+                            self.table_metrics.record_eviction(scratch, r.is_err());
+                        }
+                        r.is_ok()
+                    }
                     SearchKind::Dfs => dfs::search(
                         &self.raw,
                         ks.i1,
@@ -461,7 +480,8 @@ where
                 return Ok(());
             }
             let found = match self.config.search {
-                SearchKind::Bfs => bfs::search(
+                SearchKind::Bfs => search::plan(
+                    self.config.eviction,
                     &self.raw,
                     ks.i1,
                     ks.i2,
@@ -487,28 +507,22 @@ where
             // which case a later-executed displacement empties a slot an
             // earlier one expects full. Each applied displacement is
             // individually valid, so on a mismatch we simply search again
-            // (the walk is randomized).
-            let path = &scratch.path;
-            let mut valid = true;
-            for i in (0..path.len() - 1).rev() {
-                let src = path[i];
-                let dst = path[i + 1];
-                let sm = self.raw.meta(src.bucket);
-                let dm = self.raw.meta(dst.bucket);
-                let (ss, ds) = (src.slot as usize, dst.slot as usize);
-                if !sm.is_occupied(ss) || sm.partial(ss) != src.tag || dm.is_occupied(ds) {
-                    valid = false;
-                    break;
-                }
-                // SAFETY: exclusive access; occupancy just validated.
-                unsafe {
-                    let (k, v) = self.raw.take_entry(src.bucket, ss);
-                    self.raw.write_entry(dst.bucket, ds, src.tag, k, v);
-                }
-            }
+            // (the walk is randomized). The shared executor (`stripes:
+            // None` — exclusive access via `&mut self`) does exactly that
+            // validation per step.
+            let displacements = crate::sync2::atomic::AtomicU64::new(0);
+            let valid = exec::execute_hole_backwards(
+                &self.raw,
+                None,
+                &scratch.path,
+                &displacements,
+                || true,
+                RawTable::move_entry,
+            );
             if !valid {
                 continue;
             }
+            let path = &scratch.path;
             let head = path[0];
             if self.raw.meta(head.bucket).is_occupied(head.slot as usize) {
                 continue;

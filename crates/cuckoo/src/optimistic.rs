@@ -32,7 +32,7 @@ use crate::error::{InsertError, UpsertOutcome};
 use crate::hash::DefaultHashBuilder;
 use crate::hashing::{key_slots, KeySlots};
 use crate::raw::RawTable;
-use crate::search::{self, bfs, PathEntry};
+use crate::search::{self, bfs, exec, EvictionPolicy, PathEntry};
 use crate::stats::{PathStats, PathStatsSnapshot, TableMetrics};
 use crate::sync::{LockStripes, DEFAULT_STRIPES};
 use crate::sync2::atomic::{AtomicU64, Ordering};
@@ -48,6 +48,7 @@ pub struct Builder<S = DefaultHashBuilder> {
     max_search_slots: usize,
     prefetch: bool,
     path_retries: usize,
+    eviction: EvictionPolicy,
     hasher: S,
 }
 
@@ -60,6 +61,7 @@ impl Builder<DefaultHashBuilder> {
             max_search_slots: DEFAULT_MAX_SEARCH_SLOTS,
             prefetch: true,
             path_retries: 16,
+            eviction: EvictionPolicy::Bfs,
             hasher: DefaultHashBuilder::new(),
         }
     }
@@ -90,6 +92,14 @@ impl<S> Builder<S> {
         self
     }
 
+    /// Selects the kick-out eviction policy for the insert slow path
+    /// (default [`EvictionPolicy::Bfs`]). See [`EvictionPolicy`] for the
+    /// density/latency trade-off.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction = policy;
+        self
+    }
+
     /// Replaces the hash builder.
     pub fn hasher<S2>(self, hasher: S2) -> Builder<S2> {
         Builder {
@@ -98,6 +108,7 @@ impl<S> Builder<S> {
             max_search_slots: self.max_search_slots,
             prefetch: self.prefetch,
             path_retries: self.path_retries,
+            eviction: self.eviction,
             hasher,
         }
     }
@@ -117,6 +128,7 @@ impl<S> Builder<S> {
             max_search_slots: self.max_search_slots,
             prefetch: self.prefetch,
             path_retries: self.path_retries,
+            eviction: self.eviction,
             path_stats: PathStats::new(),
             displacements: AtomicU64::new(0),
             table_metrics: Box::new(TableMetrics::new()),
@@ -134,6 +146,7 @@ pub struct OptimisticCuckooMap<K, V, const B: usize = 8, S = DefaultHashBuilder>
     max_search_slots: usize,
     prefetch: bool,
     path_retries: usize,
+    eviction: EvictionPolicy,
     path_stats: PathStats,
     /// Total cuckoo-path displacement steps ever executed. Correctness-
     /// bearing (not a resettable metric): [`scan`](Self::scan) validates
@@ -327,6 +340,11 @@ where
     /// Fraction of slots occupied.
     pub fn load_factor(&self) -> f64 {
         self.len() as f64 / self.capacity() as f64
+    }
+
+    /// How the insert slow path plans kick-out eviction.
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
     }
 
     /// Slow-path statistics: searches, path executions, stale paths
@@ -564,7 +582,8 @@ where
                     FastPath::BucketsFull => {}
                 }
                 self.path_stats.record_search();
-                let searched = bfs::search(
+                let searched = search::plan(
+                    self.eviction,
                     &self.raw,
                     ks.i1,
                     ks.i2,
@@ -576,6 +595,9 @@ where
                 // the search itself examined hundreds of slots, so the
                 // relative cost of recording is negligible (P1 budget).
                 self.table_metrics.bfs_examined_slots.record(scratch.examined as u64);
+                if self.eviction != EvictionPolicy::Bfs {
+                    self.table_metrics.record_eviction(scratch, searched.is_err());
+                }
                 if searched.is_err() {
                     return self.full_table_insert(ks, key, val, upsert);
                 }
@@ -649,41 +671,21 @@ where
 
     /// Executes a cuckoo path one locked bucket-pair at a time (§4.4),
     /// re-validating each displacement. `false` means the path went stale.
+    ///
+    /// Delegates to the shared hole-backwards executor
+    /// ([`exec::execute_hole_backwards`]): destination written before the
+    /// source is cleared, so optimistic readers probing both candidate
+    /// buckets never miss an in-flight entry. `tests/model.rs` proves
+    /// that claim mechanically against concurrent readers.
     fn execute_path_fg(&self, path: &[PathEntry]) -> bool {
-        if path.len() < 2 {
-            return true;
-        }
-        for i in (0..path.len() - 1).rev() {
-            let src = path[i];
-            let dst = path[i + 1];
-            let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
-            let sb = self.raw.bucket(src.bucket);
-            let sm = self.raw.meta(src.bucket);
-            let dm = self.raw.meta(dst.bucket);
-            let src_slot = src.slot as usize;
-            let dst_slot = dst.slot as usize;
-            if !sm.is_occupied(src_slot)
-                || sm.partial(src_slot) != src.tag
-                || dm.is_occupied(dst_slot)
-            {
-                return false;
-            }
-            // SAFETY: both stripe locks held → no concurrent writers;
-            // plain reads of our own data, atomic publication for the
-            // optimistic readers. Destination is written before the source
-            // is cleared so readers never miss the item.
-            unsafe {
-                let k = sb.key_ptr(src_slot).read();
-                let v = sb.val_ptr(src_slot).read();
-                self.raw.write_entry_racy(dst.bucket, dst_slot, src.tag, k, v);
-                sm.clear_occupied(src_slot);
-            }
-            // Bumped under the pair lock so `scan` (one stripe at a
-            // time) observes the count move whenever an entry crosses
-            // stripes during a fuzzy snapshot.
-            self.displacements.fetch_add(1, Ordering::SeqCst);
-        }
-        true
+        exec::execute_hole_backwards(
+            &self.raw,
+            Some(&self.stripes),
+            path,
+            &self.displacements,
+            || true,
+            RawTable::move_entry_racy,
+        )
     }
 
     /// The pessimistic full-table path: every stripe held, deterministic
@@ -728,16 +730,19 @@ where
             return Ok(UpsertOutcome::Inserted);
         }
         search::with_scratch(|scratch| {
-            if bfs::search(
+            let searched = search::plan(
+                self.eviction,
                 &self.raw,
                 ks.i1,
                 ks.i2,
                 self.max_search_slots,
                 self.prefetch,
                 scratch,
-            )
-            .is_err()
-            {
+            );
+            if self.eviction != EvictionPolicy::Bfs {
+                self.table_metrics.record_eviction(scratch, searched.is_err());
+            }
+            if searched.is_err() {
                 return Err(InsertError::TableFull);
             }
             // All stripes held: the freshly discovered path cannot go
@@ -756,28 +761,84 @@ where
         })
     }
 
-    /// Path execution while the full-table lock is already held.
+    /// Path execution while the full-table lock is already held: the
+    /// shared executor with per-step locking disabled (`stripes: None`).
+    /// Publication stays atomic for any reader that stamped its version
+    /// before we locked.
     fn execute_path_fg_locked(&self, path: &[PathEntry]) -> bool {
+        exec::execute_hole_backwards(
+            &self.raw,
+            None,
+            path,
+            &self.displacements,
+            || true,
+            RawTable::move_entry_racy,
+        )
+    }
+}
+
+/// Model-checker hooks: deterministic access to key geometry and path
+/// execution so `tests/model.rs` can stage multi-step displacements and
+/// probe readers against them. Compiled only for tests and the
+/// `cuckoo_model` suite.
+#[cfg(any(test, cuckoo_model))]
+impl<K, V, const B: usize, S> OptimisticCuckooMap<K, V, B, S>
+where
+    K: Plain + Eq + Hash,
+    V: Plain,
+    S: BuildHasher,
+{
+    /// `(i1, i2, tag)` for `key` — lets tests construct colliding keys.
+    pub fn key_coords(&self, key: &K) -> (usize, usize, u8) {
+        let ks = self.slots_of(key);
+        (ks.i1, ks.i2, ks.tag)
+    }
+
+    /// Executes `path` through the production executor (per-step pair
+    /// locks, hole-backwards). Returns `false` if the path went stale.
+    pub fn execute_path(&self, path: &[PathEntry]) -> bool {
+        self.execute_path_fg(path)
+    }
+
+    /// **Deliberately broken** executor for mutation testing: each step
+    /// clears the source in one critical section and writes the
+    /// destination in a *second* one, opening a window where the entry is
+    /// in neither candidate bucket. The model suite proves readers
+    /// observe the resulting false miss — i.e. the checker would catch a
+    /// real regression of this shape.
+    pub fn execute_path_split_displacement(&self, path: &[PathEntry]) -> bool {
         if path.len() < 2 {
             return true;
         }
         for i in (0..path.len() - 1).rev() {
             let src = path[i];
             let dst = path[i + 1];
-            let sb = self.raw.bucket(src.bucket);
-            let sm = self.raw.meta(src.bucket);
-            let dm = self.raw.meta(dst.bucket);
             let (ss, ds) = (src.slot as usize, dst.slot as usize);
-            if !sm.is_occupied(ss) || sm.partial(ss) != src.tag || dm.is_occupied(ds) {
-                return false;
-            }
-            // SAFETY: all stripes held; publication still atomic for any
-            // reader that stamped before we locked.
-            unsafe {
-                let k = sb.key_ptr(ss).read();
-                let v = sb.val_ptr(ss).read();
-                self.raw.write_entry_racy(dst.bucket, ds, src.tag, k, v);
+            let (k, v);
+            {
+                let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
+                let sm = self.raw.meta(src.bucket);
+                if !sm.is_occupied(ss)
+                    || sm.partial(ss) != src.tag
+                    || self.raw.meta(dst.bucket).is_occupied(ds)
+                {
+                    return false;
+                }
+                let sb = self.raw.bucket(src.bucket);
+                // SAFETY: pair lock held; source occupied per the triple.
+                unsafe {
+                    k = sb.key_ptr(ss).read();
+                    v = sb.val_ptr(ss).read();
+                }
                 sm.clear_occupied(ss);
+                // BUG (intentional): the entry now exists in *neither*
+                // bucket, and the lock is dropped here.
+            }
+            {
+                let _g = self.stripes.lock_pair(src.bucket, dst.bucket);
+                // SAFETY: pair lock held; destination validated empty
+                // above and writers are excluded by the pair lock.
+                unsafe { self.raw.write_entry_racy(dst.bucket, ds, src.tag, k, v) };
             }
             self.displacements.fetch_add(1, Ordering::SeqCst);
         }

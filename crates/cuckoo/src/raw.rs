@@ -147,6 +147,41 @@ impl<K, V, const B: usize> RawTable<K, V, B> {
         unsafe { (b.key_ptr(slot).read(), b.val_ptr(slot).read()) }
     }
 
+    /// Moves the entry at `(src_bucket, src_slot)` into the empty slot
+    /// `(dst_bucket, dst_slot)` with plain reads/writes, **destination
+    /// first**: the destination is fully written and published before
+    /// the source's occupied bit is cleared, so there is no instant at
+    /// which the entry is in neither bucket. This is the move discipline
+    /// the shared hole-backwards path executor
+    /// ([`crate::search::exec`]) relies on.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold writer-side mutual exclusion over *both*
+    /// buckets; `src_slot` must be occupied and `dst_slot` unoccupied.
+    pub unsafe fn move_entry(
+        &self,
+        src_bucket: usize,
+        src_slot: usize,
+        dst_bucket: usize,
+        dst_slot: usize,
+        tag: u8,
+    ) {
+        let sm = self.meta(src_bucket);
+        debug_assert!(sm.is_occupied(src_slot));
+        let sb = self.bucket(src_bucket);
+        // SAFETY: the source slot is occupied, so both fields are
+        // initialized; reading (not taking) duplicates the bits, but the
+        // source's occupied bit is cleared below before this function
+        // returns, so exactly one logically-live copy ever exists and
+        // drop glue runs once.
+        let (k, v) = unsafe { (sb.key_ptr(src_slot).read(), sb.val_ptr(src_slot).read()) };
+        // SAFETY: destination unoccupied and covered by the caller's
+        // exclusion, per this function's contract.
+        unsafe { self.write_entry(dst_bucket, dst_slot, tag, k, v) };
+        sm.clear_occupied(src_slot);
+    }
+
     /// Exact number of occupied slots. Only meaningful when writers are
     /// quiescent (or all stripes are held); individual tables maintain
     /// faster sharded counters for concurrent use.
@@ -271,6 +306,43 @@ impl<K: Plain, V: Plain, const B: usize> RawTable<K, V, B> {
         }
         m.set_occupied(slot);
     }
+
+    /// Moves the entry at `(src_bucket, src_slot)` into the empty slot
+    /// `(dst_bucket, dst_slot)` with atomic-chunk publication
+    /// (destination first, like [`RawTable::move_entry`]) for tables
+    /// whose readers are optimistic: the destination becomes visible —
+    /// occupied bit and all — *before* the source's occupied bit clears,
+    /// so a reader probing both candidate buckets finds the entry in at
+    /// least one of them at every instant and never validates a false
+    /// miss.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold writer-side mutual exclusion over both
+    /// buckets (with the covering version counters odd, so readers
+    /// racing the stores fail validation); `src_slot` must be occupied
+    /// and `dst_slot` unoccupied.
+    pub unsafe fn move_entry_racy(
+        &self,
+        src_bucket: usize,
+        src_slot: usize,
+        dst_bucket: usize,
+        dst_slot: usize,
+        tag: u8,
+    ) {
+        let sm = self.meta(src_bucket);
+        debug_assert!(sm.is_occupied(src_slot));
+        let sb = self.bucket(src_bucket);
+        // SAFETY: writer exclusion covers the source bucket, so plain
+        // reads of its occupied slot are race-free; `K: Plain`/`V: Plain`
+        // have no drop glue, so the bitwise duplicate left behind (until
+        // `clear_occupied` below) needs no cleanup.
+        let (k, v) = unsafe { (sb.key_ptr(src_slot).read(), sb.val_ptr(src_slot).read()) };
+        // SAFETY: destination unoccupied per contract; atomic-chunk
+        // stores keep racing optimistic readers race-free.
+        unsafe { self.write_entry_racy(dst_bucket, dst_slot, tag, k, v) };
+        sm.clear_occupied(src_slot);
+    }
 }
 
 impl<K, V, const B: usize> Drop for RawTable<K, V, B> {
@@ -387,6 +459,43 @@ mod tests {
             }
         }
         assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn move_entry_relocates_without_double_drop() {
+        let counter = Arc::new(());
+        {
+            let t: RawTable<Arc<()>, u8, 4> = RawTable::with_capacity(1024);
+            // SAFETY: exclusive access; slot unoccupied.
+            unsafe { t.write_entry(2, 1, 7, Arc::clone(&counter), 9) };
+            // SAFETY: source occupied, destination empty.
+            unsafe { t.move_entry(2, 1, 50, 3, 7) };
+            assert!(!t.meta(2).is_occupied(1));
+            assert!(t.meta(50).is_occupied(3));
+            assert_eq!(t.meta(50).partial(3), 7);
+            // SAFETY: slot occupied (just moved there).
+            let (k, v) = unsafe { t.take_entry(50, 3) };
+            assert_eq!(v, 9);
+            drop(k);
+            assert_eq!(Arc::strong_count(&counter), 1, "exactly one live copy");
+        }
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn move_entry_racy_relocates_and_publishes() {
+        let t: RawTable<u64, u64, 4> = RawTable::with_capacity(1024);
+        // SAFETY: single-threaded; slot unoccupied.
+        unsafe { t.write_entry_racy(7, 1, 3, 99, 77) };
+        // SAFETY: source occupied, destination empty.
+        unsafe { t.move_entry_racy(7, 1, 200, 0, 3) };
+        assert!(!t.meta(7).is_occupied(1));
+        assert!(t.meta(200).is_occupied(0));
+        // SAFETY: slot in range.
+        unsafe {
+            assert_eq!(t.read_key_racy(200, 0), 99);
+            assert_eq!(t.read_val_racy(200, 0), 77);
+        }
     }
 
     #[test]

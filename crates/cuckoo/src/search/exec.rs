@@ -1,0 +1,249 @@
+//! The single validated hole-backwards path executor shared by every
+//! table flavor.
+//!
+//! A discovered cuckoo path is a *plan* over unstable metadata; this
+//! module is the one place that turns a plan into displacements. The
+//! path is executed **hole-backwards** (SNIPPETS item 4): walking from
+//! the vacancy toward the root and moving each entry *forward* into the
+//! hole means every displacement writes its destination before clearing
+//! its source, so an in-flight entry is present in at least one of its
+//! two candidate buckets at every instant. Items-forward execution has
+//! the opposite order — source cleared while the destination is still
+//! empty — and a reader probing both buckets in that window misses a
+//! live key. `CuckooMap::execute_path_on` and `OptimisticCuckooMap::
+//! execute_path_fg{,_locked}` used to each hand-roll this loop; the
+//! invariants (step order, per-step locking, the validation triple, the
+//! `displacements` SeqCst bump that `scan` depends on) now live here and
+//! cannot drift apart again.
+//!
+//! The model suite (`tests/model.rs`) proves the reader-survivability
+//! claim mechanically, and proves the checker would catch a split
+//! source-before-destination mutation; CI additionally sed-mutates this
+//! file's step order and requires the unit tests below to fail.
+
+use super::PathEntry;
+use crate::raw::RawTable;
+use crate::sync::LockStripes;
+use crate::sync2::atomic::{AtomicU64, Ordering};
+
+/// Per-step move discipline. The two implementations are
+/// [`RawTable::move_entry`] (plain moves — readers are locked out, any
+/// `K`/`V`) and [`RawTable::move_entry_racy`] (atomic-chunk publication
+/// for optimistic readers, `K: Plain`/`V: Plain`); both write the
+/// destination before clearing the source. Arguments: `(raw, src_bucket,
+/// src_slot, dst_bucket, dst_slot, tag)`.
+///
+/// # Safety
+///
+/// The executor calls the mover with writer exclusion held over both
+/// buckets and the (source occupied ∧ tag matches ∧ destination empty)
+/// triple freshly validated — exactly the movers' safety contract.
+pub(crate) type Mover<K, V, const B: usize> =
+    // SAFETY: see `# Safety` above — exclusion + validation precede every call.
+    unsafe fn(&RawTable<K, V, B>, usize, usize, usize, usize, u8);
+
+/// Executes `path` (root first, vacancy last) over `raw`, hole-backwards,
+/// one validated displacement at a time. Returns `false` as soon as a
+/// step fails validation — the path went stale; each displacement already
+/// applied is individually valid, so no undo is needed.
+///
+/// `stripes`: `Some` locks each step's bucket pair (ordered by stripe
+/// rank, see [`LockStripes::lock_pair`]); `None` means the caller already
+/// holds table-wide writer exclusion (the pessimistic full-table paths).
+///
+/// `valid` is re-checked inside every step's lock: a concurrent
+/// expansion, migration start, or emergency rebuild makes the step fail
+/// validation instead of displacing entries in a table being drained.
+///
+/// `displacements` is bumped SeqCst under the step's lock — correctness-
+/// bearing for both maps' `scan`, which detects an entry hopping between
+/// stripes mid-snapshot by this counter.
+pub(crate) fn execute_hole_backwards<K, V, const B: usize>(
+    raw: &RawTable<K, V, B>,
+    stripes: Option<&LockStripes>,
+    path: &[PathEntry],
+    displacements: &AtomicU64,
+    valid: impl Fn() -> bool,
+    mover: Mover<K, V, B>,
+) -> bool {
+    if path.len() < 2 {
+        return true;
+    }
+    for i in (0..path.len() - 1).rev() {
+        let src = path[i];
+        let dst = path[i + 1];
+        let _g = stripes.map(|s| s.lock_pair(src.bucket, dst.bucket));
+        if !valid() {
+            return false;
+        }
+        let sm = raw.meta(src.bucket);
+        let dm = raw.meta(dst.bucket);
+        let (ss, ds) = (src.slot as usize, dst.slot as usize);
+        if !sm.is_occupied(ss) || sm.partial(ss) != src.tag || dm.is_occupied(ds) {
+            return false;
+        }
+        // SAFETY: writer exclusion over both buckets is held (the step's
+        // pair lock, or the caller's table-wide lock when `stripes` is
+        // `None`); the triple above established source occupied with the
+        // expected tag and destination empty — the mover's contract.
+        unsafe { mover(raw, src.bucket, ss, dst.bucket, ds, src.tag) };
+        // Bumped under the lock so `scan` (one stripe at a time)
+        // observes the count move whenever an entry crosses stripes
+        // during a fuzzy snapshot.
+        displacements.fetch_add(1, Ordering::SeqCst);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::PathEntry;
+
+    fn entry(bucket: usize, slot: u8, tag: u8) -> PathEntry {
+        PathEntry { bucket, slot, tag }
+    }
+
+    /// Plants a 2-displacement chain: key A at (10,0) → (20,1) → hole at
+    /// (30,2). This is the CI mutation smoke's named target: executing
+    /// the steps in *forward* order moves A onto the still-occupied
+    /// (20,1) — validation rejects it — so stripping the `.rev()` makes
+    /// this test fail.
+    fn two_step_fixture() -> (RawTable<u64, u64, 4>, Vec<PathEntry>) {
+        let raw: RawTable<u64, u64, 4> = RawTable::with_capacity(1024);
+        // SAFETY: single-threaded test; slots unoccupied.
+        unsafe {
+            raw.write_entry(10, 0, 0xAA, 1, 100);
+            raw.write_entry(20, 1, 0xBB, 2, 200);
+        }
+        let path = vec![entry(10, 0, 0xAA), entry(20, 1, 0xBB), entry(30, 2, 0)];
+        (raw, path)
+    }
+
+    #[test]
+    fn hole_backwards_executes_multi_step_paths() {
+        let (raw, path) = two_step_fixture();
+        let stripes = LockStripes::new(8);
+        let displacements = AtomicU64::new(0);
+        assert!(execute_hole_backwards(
+            &raw,
+            Some(&stripes),
+            &path,
+            &displacements,
+            || true,
+            RawTable::move_entry,
+        ));
+        assert_eq!(displacements.load(Ordering::SeqCst), 2);
+        // The hole moved to the root; both entries shifted one step.
+        assert!(!raw.meta(10).is_occupied(0));
+        assert!(raw.meta(20).is_occupied(1));
+        assert_eq!(raw.meta(20).partial(1), 0xAA);
+        assert!(raw.meta(30).is_occupied(2));
+        assert_eq!(raw.meta(30).partial(2), 0xBB);
+        // SAFETY: single-threaded; slots occupied as just asserted.
+        unsafe {
+            assert_eq!(raw.take_entry(20, 1), (1, 100));
+            assert_eq!(raw.take_entry(30, 2), (2, 200));
+        }
+    }
+
+    #[test]
+    fn stale_source_tag_rejects_the_path() {
+        let (raw, path) = two_step_fixture();
+        let stripes = LockStripes::new(8);
+        let displacements = AtomicU64::new(0);
+        // Concurrent writer "replaced" the root occupant: tag mismatch.
+        let mut stale = path.clone();
+        stale[0].tag = 0x77;
+        // The vacancy-adjacent step executes; the stale root step aborts.
+        assert!(!execute_hole_backwards(
+            &raw,
+            Some(&stripes),
+            &stale,
+            &displacements,
+            || true,
+            RawTable::move_entry,
+        ));
+        assert_eq!(displacements.load(Ordering::SeqCst), 1);
+        // Each applied displacement remains individually valid.
+        assert!(raw.meta(10).is_occupied(0));
+        assert!(raw.meta(30).is_occupied(2));
+        assert!(!raw.meta(20).is_occupied(1));
+    }
+
+    #[test]
+    fn occupied_destination_rejects_the_path() {
+        let (raw, path) = two_step_fixture();
+        // SAFETY: single-threaded; the hole slot is unoccupied.
+        unsafe { raw.write_entry(30, 2, 0xCC, 3, 300) };
+        let stripes = LockStripes::new(8);
+        let displacements = AtomicU64::new(0);
+        assert!(!execute_hole_backwards(
+            &raw,
+            Some(&stripes),
+            &path,
+            &displacements,
+            || true,
+            RawTable::move_entry,
+        ));
+        assert_eq!(displacements.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn invalidated_table_stops_before_any_move() {
+        let (raw, path) = two_step_fixture();
+        let stripes = LockStripes::new(8);
+        let displacements = AtomicU64::new(0);
+        assert!(!execute_hole_backwards(
+            &raw,
+            Some(&stripes),
+            &path,
+            &displacements,
+            || false, // e.g. a migration began
+            RawTable::move_entry,
+        ));
+        assert_eq!(displacements.load(Ordering::SeqCst), 0);
+        assert!(raw.meta(10).is_occupied(0));
+        assert!(raw.meta(20).is_occupied(1));
+    }
+
+    #[test]
+    fn trivial_paths_are_noops() {
+        let raw: RawTable<u64, u64, 4> = RawTable::with_capacity(1024);
+        let displacements = AtomicU64::new(0);
+        let stripes = LockStripes::new(8);
+        for p in [vec![], vec![entry(5, 0, 0)]] {
+            assert!(execute_hole_backwards(
+                &raw,
+                Some(&stripes),
+                &p,
+                &displacements,
+                || true,
+                RawTable::move_entry,
+            ));
+        }
+        assert_eq!(displacements.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn racy_mover_works_under_held_exclusion() {
+        // The `stripes: None` flavor (full-table lock held) with the
+        // optimistic tables' atomic-chunk mover.
+        let (raw, path) = two_step_fixture();
+        let displacements = AtomicU64::new(0);
+        assert!(execute_hole_backwards(
+            &raw,
+            None,
+            &path,
+            &displacements,
+            || true,
+            RawTable::move_entry_racy,
+        ));
+        assert_eq!(displacements.load(Ordering::SeqCst), 2);
+        // SAFETY: slots in range.
+        unsafe {
+            assert_eq!(raw.read_key_racy(20, 1), 1);
+            assert_eq!(raw.read_val_racy(30, 2), 200);
+        }
+    }
+}

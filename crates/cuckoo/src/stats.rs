@@ -148,6 +148,13 @@ pub struct TableMetrics {
     pub graveyard_depth: Gauge,
     /// Stop-the-world emergency rebuilds (insert failed mid-migration).
     pub emergency_rebuilds: Counter,
+    /// Victim kicks per non-BFS eviction search (random-walk/hybrid) —
+    /// the per-policy effort distribution the density bench A/Bs.
+    pub eviction_kicks: Histogram,
+    /// Walk steps rejected by fingerprint loop detection.
+    pub eviction_loops_detected: Counter,
+    /// Non-BFS eviction searches that exhausted their kick budget.
+    pub eviction_give_ups: Counter,
 }
 
 impl TableMetrics {
@@ -199,6 +206,26 @@ impl TableMetrics {
             "cuckoo_emergency_rebuilds_total",
             self.emergency_rebuilds.get(),
         ));
+        out.push(Sample::histogram("cuckoo_eviction_kicks", self.eviction_kicks.snapshot()));
+        out.push(Sample::counter(
+            "cuckoo_eviction_loops_detected_total",
+            self.eviction_loops_detected.get(),
+        ));
+        out.push(Sample::counter("cuckoo_eviction_give_ups_total", self.eviction_give_ups.get()));
+    }
+
+    /// Records one non-BFS eviction search's effort: kick count, loop-
+    /// detection events, and whether the search exhausted its budget.
+    /// Called from the insert slow path only when the table's policy is
+    /// not plain BFS, so the default configuration pays nothing.
+    pub(crate) fn record_eviction(&self, scratch: &crate::search::SearchScratch, gave_up: bool) {
+        self.eviction_kicks.record(scratch.kicks as u64);
+        if scratch.loops_detected > 0 {
+            self.eviction_loops_detected.add(scratch.loops_detected as u64);
+        }
+        if gave_up {
+            self.eviction_give_ups.inc();
+        }
     }
 
     /// Zeroes every series (same non-atomic caveat as [`PathStats::reset`]).
@@ -214,6 +241,9 @@ impl TableMetrics {
         self.help_sweeps.reset();
         self.graveyard_depth.reset();
         self.emergency_rebuilds.reset();
+        self.eviction_kicks.reset();
+        self.eviction_loops_detected.reset();
+        self.eviction_give_ups.reset();
     }
 }
 
@@ -294,6 +324,9 @@ mod tests {
             ("cuckoo_help_sweeps_total", "counter"),
             ("cuckoo_graveyard_depth", "gauge"),
             ("cuckoo_emergency_rebuilds_total", "counter"),
+            ("cuckoo_eviction_kicks", "histogram"),
+            ("cuckoo_eviction_loops_detected_total", "counter"),
+            ("cuckoo_eviction_give_ups_total", "counter"),
         ];
         assert_eq!(got, golden);
     }
@@ -312,6 +345,9 @@ mod tests {
         m.help_sweeps.inc();
         m.graveyard_depth.set(2);
         m.emergency_rebuilds.inc();
+        m.eviction_kicks.record(12);
+        m.eviction_loops_detected.add(3);
+        m.eviction_give_ups.inc();
         m.reset();
         assert_eq!(m.read_retries.get(), 0);
         assert_eq!(m.multiget_fallbacks.get(), 0);
@@ -320,5 +356,8 @@ mod tests {
         assert_eq!(m.migration_chunks.get(), 0);
         assert_eq!(m.graveyard_depth.get(), 0);
         assert_eq!(m.emergency_rebuilds.get(), 0);
+        assert_eq!(m.eviction_kicks.snapshot().count(), 0);
+        assert_eq!(m.eviction_loops_detected.get(), 0);
+        assert_eq!(m.eviction_give_ups.get(), 0);
     }
 }

@@ -16,8 +16,10 @@
 //! the whole suite in CI-friendly single-digit seconds.
 #![cfg(cuckoo_model)]
 
+use cuckoo::hash::RandomState;
+use cuckoo::search::PathEntry;
 use cuckoo::sync::{EpochRegistry, LockStripes, VersionLock};
-use cuckoo::{CuckooMap, OptimisticCuckooMap};
+use cuckoo::{CuckooMap, OptimisticBuilder, OptimisticCuckooMap};
 use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -293,6 +295,131 @@ fn get_many_during_forced_migration() {
             assert_eq!(map.get(&k), Some(k * 10 + 1), "key {k} lost after migration");
         }
     });
+}
+
+/// Fixed hash seed so key geometry is identical across schedules,
+/// processes, and replays.
+const DISPLACEMENT_HASH_SEED: u64 = 0xd15b_1ace;
+
+/// Finds two keys and a two-displacement cuckoo path over them:
+///
+/// - `X` with distinct candidate buckets `x1 != x2`; inserted into an
+///   empty table it lands at `(x1, slot 0)`.
+/// - `Y` whose first candidate *is* `x2` (so it lands at `(x2, slot 0)`)
+///   and whose second candidate `y2` is a third bucket.
+///
+/// The returned path displaces `Y: x2 → y2`, then `X: x1 → x2` — every
+/// move is between the key's own two candidate buckets, so a correct
+/// executor keeps both keys reader-visible at every instant.
+fn displacement_fixture(
+    map: &OptimisticCuckooMap<u64, u64, 8, RandomState>,
+) -> (u64, u64, Vec<PathEntry>) {
+    let mut x = 0u64;
+    let (x1, x2, xt) = loop {
+        let (a, b, t) = map.key_coords(&x);
+        if a != b && t != 0 {
+            break (a, b, t);
+        }
+        x += 1;
+    };
+    let mut y = 1_000u64;
+    let (y2, yt) = loop {
+        let (a, b, t) = map.key_coords(&y);
+        if a == x2 && b != x1 && b != x2 && t != 0 {
+            break (b, t);
+        }
+        y += 1;
+    };
+    let path = vec![
+        PathEntry { bucket: x1, slot: 0, tag: xt },
+        PathEntry { bucket: x2, slot: 0, tag: yt },
+        PathEntry { bucket: y2, slot: 0, tag: 0 },
+    ];
+    (x, y, path)
+}
+
+/// One writer executing a two-displacement path against one reader
+/// probing both displaced keys. With the production hole-backwards
+/// executor the reader can never miss; with the deliberately split
+/// (clear-source, *then* write-destination) executor there is a window
+/// in which a key is in neither of its candidate buckets.
+fn displacement_vs_reader(split: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let map: Arc<OptimisticCuckooMap<u64, u64, 8, RandomState>> = Arc::new(
+            OptimisticBuilder::new(64)
+                .hasher(RandomState::with_seed(DISPLACEMENT_HASH_SEED))
+                .build(),
+        );
+        let (x, y, path) = displacement_fixture(&map);
+        map.insert(x, 1).unwrap();
+        map.insert(y, 2).unwrap();
+
+        let writer = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                let ok = if split {
+                    map.execute_path_split_displacement(&path)
+                } else {
+                    map.execute_path(&path)
+                };
+                assert!(ok, "freshly planned path went stale with no other writer");
+            })
+        };
+        let reader = {
+            let map = Arc::clone(&map);
+            loom::thread::spawn(move || {
+                assert_eq!(map.get(&x), Some(1), "false miss on displaced key X");
+                assert_eq!(map.get(&y), Some(2), "false miss on displaced key Y");
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(map.get(&x), Some(1), "key X lost after displacement");
+        assert_eq!(map.get(&y), Some(2), "key Y lost after displacement");
+    }
+}
+
+/// The SAFETY claim in the shared executor, checked mechanically: an
+/// optimistic reader probing both candidate buckets during a multi-step
+/// path execution never observes a false miss, because every
+/// displacement writes its destination before clearing its source.
+#[test]
+fn multi_step_displacement_never_hides_keys_from_readers() {
+    loom::explore(loom::Config::random(0x5eed_0007, 600), displacement_vs_reader(false))
+        .expect("hole-backwards execution must keep both keys visible in every schedule");
+}
+
+/// Mutation-catch acceptance: an executor that clears the source in one
+/// critical section and writes the destination in a second one (the
+/// regression the hole-backwards discipline prevents) must be caught by
+/// the same exploration, with a replayable seed. Note a *within*-step
+/// order flip is invisible to seqlock readers — they spin until the
+/// version is even, so they never validate mid-critical-section; the
+/// observable mutation is the split across two critical sections.
+#[test]
+fn split_displacement_mutation_is_caught_with_replayable_seed() {
+    let failure =
+        loom::explore(loom::Config::random(0x5eed_0008, 600), displacement_vs_reader(true))
+            .expect_err("split displacement must produce a reader-visible false miss");
+    assert!(
+        failure.message.contains("false miss"),
+        "expected the false-miss invariant, got: {}",
+        failure.message
+    );
+    let seed = failure.seed.expect("random-walk failures carry a seed");
+    println!("split displacement reproduced; replay with LOOM_SEED={seed}");
+
+    let replayed = loom::explore(
+        loom::Config {
+            strategy: loom::Strategy::Replay { seed },
+            max_schedules: 1,
+            ..loom::Config::default()
+        },
+        displacement_vs_reader(true),
+    )
+    .expect_err("replaying the reported seed must reproduce the false miss");
+    assert_eq!(replayed.seed, Some(seed));
+    assert!(replayed.message.contains("false miss"));
 }
 
 /// PR 2 regression: `get_or_insert_with` racing a delete of the same key

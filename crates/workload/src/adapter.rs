@@ -86,6 +86,18 @@ pub trait ConcurrentMap<V: BenchValue>: Sync {
     }
 }
 
+/// Label suffix describing a non-default eviction policy, so A/B reports
+/// distinguish the planner variants at a glance.
+fn eviction_suffix(policy: cuckoo::EvictionPolicy) -> String {
+    match policy {
+        cuckoo::EvictionPolicy::Bfs => String::new(),
+        cuckoo::EvictionPolicy::RandomWalk { max_kicks } => format!("+walk{max_kicks}"),
+        cuckoo::EvictionPolicy::Hybrid { bfs_slots, max_kicks } => {
+            format!("+hybrid{bfs_slots}/{max_kicks}")
+        }
+    }
+}
+
 fn put_from_cuckoo(r: Result<(), cuckoo::InsertError>) -> PutResult {
     match r {
         Ok(()) => PutResult::Inserted,
@@ -134,7 +146,7 @@ impl<V: BenchValue + cuckoo::Plain, const B: usize> ConcurrentMap<V>
     }
 
     fn label(&self) -> String {
-        format!("cuckoo+ FG {B}-way")
+        format!("cuckoo+ FG {B}-way{}", eviction_suffix(self.eviction()))
     }
 
     fn metric_samples(&self, out: &mut Vec<metrics::Sample>) {
@@ -211,10 +223,9 @@ impl<V: BenchValue + cuckoo::Plain, const B: usize> ConcurrentMap<V> for MemC3Cu
         }
         parts.push(
             match c.search {
-                cuckoo::SearchKind::Dfs => "dfs",
-                cuckoo::SearchKind::Bfs => "bfs",
-            }
-            .into(),
+                cuckoo::SearchKind::Dfs => "dfs".to_string(),
+                cuckoo::SearchKind::Bfs => format!("bfs{}", eviction_suffix(c.eviction)),
+            },
         );
         if c.prefetch {
             parts.push("prefetch".into());

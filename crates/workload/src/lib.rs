@@ -28,7 +28,7 @@ pub mod snapshot;
 pub mod zipf;
 
 pub use adapter::{BenchValue, ConcurrentMap, PutResult};
-pub use driver::{FillReport, FillSpec, LookupSpec};
+pub use driver::{FillLatencyReport, FillLatencySpec, FillReport, FillSpec, LookupSpec};
 pub use latency::LatencyHistogram;
 pub use report::Table;
 pub use snapshot::MetricSnapshot;
