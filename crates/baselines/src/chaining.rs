@@ -15,6 +15,7 @@
 //! [`crate::node_chain`], the per-entry node allocation is the memory
 //! overhead the paper charges against this design for small items.
 
+// ORDERING-FILE: stats.counter — len/allocation counters; reporting only.
 use crate::InsertError;
 use core::hash::{BuildHasher, Hash};
 use parking_lot::RwLock;
@@ -100,6 +101,7 @@ where
     fn current(&self) -> &Heads<K, V> {
         // SAFETY: head arrays are retired to the graveyard, never freed
         // before the map drops.
+        // ORDERING: publish.acquire-load
         unsafe { &*self.heads.load(Ordering::Acquire) }
     }
 
@@ -115,9 +117,11 @@ where
             let heads = self.current();
             let bucket = hash & heads.mask;
             let _g = self.locks[Self::stripe_of(bucket)].read();
+            // ORDERING: publish.acquire-load
             if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
                 continue; // expanded while locking
             }
+            // ORDERING: publish.acquire-load
             let mut cur = heads.slots[bucket].load(Ordering::Acquire);
             while !cur.is_null() {
                 // SAFETY: nodes are freed only on drop; the read lock
@@ -154,9 +158,11 @@ where
             let bucket = hash & heads.mask;
             {
                 let _g = self.locks[Self::stripe_of(bucket)].write();
+                // ORDERING: publish.acquire-load
                 if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
                     continue;
                 }
+                // ORDERING: publish.acquire-load
                 let head = heads.slots[bucket].load(Ordering::Acquire);
                 let mut cur = head;
                 while !cur.is_null() {
@@ -172,12 +178,13 @@ where
                 }
                 // SAFETY: we own the unpublished node.
                 unsafe { (*node).next = head };
+                // ORDERING: publish.release-store
                 heads.slots[bucket].store(node, Ordering::Release);
-                self.len.fetch_add(1, Ordering::Relaxed);
-                self.nodes_allocated.fetch_add(1, Ordering::Relaxed);
+                self.len.fetch_add(1, Ordering::Relaxed); // ORDERING: stats.counter
+                self.nodes_allocated.fetch_add(1, Ordering::Relaxed); // ORDERING: stats.counter
             }
             // Expand outside the bucket lock when load factor exceeds 1.
-            if self.len.load(Ordering::Relaxed) > heads.mask + 1 {
+            if self.len.load(Ordering::Relaxed) > heads.mask + 1 { // ORDERING: stats.counter
                 self.expand(heads);
             }
             return Ok(());
@@ -191,16 +198,19 @@ where
             let heads = self.current();
             let bucket = hash & heads.mask;
             let _g = self.locks[Self::stripe_of(bucket)].write();
+            // ORDERING: publish.acquire-load
             if !std::ptr::eq(self.heads.load(Ordering::Acquire), heads) {
                 continue;
             }
             let mut prev: *mut Node<K, V> = std::ptr::null_mut();
+            // ORDERING: publish.acquire-load
             let mut cur = heads.slots[bucket].load(Ordering::Acquire);
             while !cur.is_null() {
                 // SAFETY: write lock held; node alive until unlinked.
                 let (matches, next) = unsafe { ((*cur).key == *key, (*cur).next) };
                 if matches {
                     if prev.is_null() {
+                        // ORDERING: publish.release-store
                         heads.slots[bucket].store(next, Ordering::Release);
                     } else {
                         // SAFETY: write lock held; `prev` is the live
@@ -249,25 +259,30 @@ where
     fn expand(&self, seen: &Heads<K, V>) {
         // Take every stripe in write mode, in order.
         let guards: Vec<_> = self.locks.iter().map(|l| l.write()).collect();
+        // ORDERING: publish.acquire-load
         if !std::ptr::eq(self.heads.load(Ordering::Acquire), seen) {
             return; // someone else expanded
         }
+        // ORDERING: publish.acquire-load
         let old_ptr = self.heads.load(Ordering::Acquire);
         // SAFETY: all stripes held exclusively.
         let old = unsafe { &*old_ptr };
         let new = Box::new(Heads::<K, V>::new((old.mask + 1) * 2));
         for slot in old.slots.iter() {
+            // ORDERING: publish.acquire-load
             let mut cur = slot.load(Ordering::Acquire);
             while !cur.is_null() {
                 // SAFETY: all stripes held; we may relink freely.
                 let node = unsafe { &mut *cur };
                 let next = node.next;
                 let bucket = (self.hash_builder.hash_one(&node.key) as usize) & new.mask;
+                // ORDERING: advisory.relaxed
                 node.next = new.slots[bucket].load(Ordering::Relaxed);
                 new.slots[bucket].store(cur, Ordering::Relaxed);
                 cur = next;
             }
         }
+        // ORDERING: publish.release-store
         self.heads.store(Box::into_raw(new), Ordering::Release);
         self.graveyard.lock().unwrap().push(old_ptr);
         drop(guards);
@@ -282,6 +297,7 @@ impl<K, V, S> Drop for ChainingMap<K, V, S> {
         unsafe {
             let heads = Box::from_raw(heads_ptr);
             for slot in heads.slots.iter() {
+                // ORDERING: advisory.relaxed
                 let mut cur = slot.load(Ordering::Relaxed);
                 while !cur.is_null() {
                     let node = Box::from_raw(cur);

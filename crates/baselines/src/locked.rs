@@ -142,13 +142,15 @@ impl<T: CtxTable> Locked<T> {
         T::Key: Copy,
         T::Val: Copy,
     {
+        // ORDERING: advisory.relaxed — approximate full-check; the table's own
+        // lock serializes the mutation that actually matters.
         if self.count.load(Ordering::Relaxed) >= self.table.item_capacity() {
             return Err(InsertError::TableFull);
         }
         // SAFETY: `run` provides the mutual exclusion `insert_ctx` needs.
         let r = self.run(|ctx| unsafe { self.table.insert_ctx(ctx, key, val) });
         if r.is_ok() {
-            self.count.fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed); // ORDERING: advisory.relaxed
         }
         r
     }
@@ -164,14 +166,14 @@ impl<T: CtxTable> Locked<T> {
         // SAFETY: as for `insert`.
         let r = self.run(|ctx| unsafe { self.table.remove_ctx(ctx, key) });
         if r.is_some() {
-            self.count.fetch_sub(1, Ordering::Relaxed);
+            self.count.fetch_sub(1, Ordering::Relaxed); // ORDERING: advisory.relaxed
         }
         r
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ORDERING: advisory.relaxed
     }
 
     /// Whether the table is empty.

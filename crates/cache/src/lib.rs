@@ -27,6 +27,7 @@
 //! compact data structure that can be updated concurrently without
 //! locking".
 
+// ORDERING-FILE: stats.counter — hit/miss/eviction counters for the stats contract.
 use cuckoo::{InsertError, OptimisticCuckooMap};
 use htm::Plain;
 use cuckoo::sync2::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -214,6 +215,7 @@ impl<V: Plain> ClockCache<V> {
                 // Benign approximation: the slot may have been recycled
                 // by a racing eviction; marking a stranger's slot recent
                 // only delays its eviction by one sweep.
+                // ORDERING: advisory.relaxed
                 self.recency[slot as usize].store(1, Ordering::Relaxed);
                 Some(v)
             }
@@ -240,6 +242,7 @@ impl<V: Plain> ClockCache<V> {
                     hits += 1;
                     // Same benign race as `get`: marking a recycled slot
                     // recent only delays one eviction.
+                    // ORDERING: advisory.relaxed
                     self.recency[slot as usize].store(1, Ordering::Relaxed);
                     out.push(Some(v));
                 }
@@ -282,6 +285,7 @@ impl<V: Plain> ClockCache<V> {
         // recent is the entry's *current* slot (a stale get+update
         // pair could resurrect a recycled slot index).
         if let Some((slot, _)) = self.map.read_modify_write(&key, |(s, _)| (s, value)) {
+            // ORDERING: advisory.relaxed
             self.recency[slot as usize].store(1, Ordering::Relaxed);
             self.updates.fetch_add(1, Ordering::Relaxed);
             true
@@ -308,14 +312,17 @@ impl<V: Plain> ClockCache<V> {
     /// after an eviction round (caller retries).
     fn insert_absent(&self, key: u64, value: V) -> Option<bool> {
         let slot = self.alloc_slot();
+        // ORDERING: publish.release-store
         self.slab_keys[slot as usize].store(key, Ordering::Release);
+        // ORDERING: advisory.relaxed
         self.recency[slot as usize].store(1, Ordering::Relaxed);
         match self.map.insert(key, (slot, value)) {
             Ok(()) => {
                 // Publish to the CLOCK hand only once the entry is
                 // resident.
+                // ORDERING: publish.release-store
                 self.state[slot as usize].store(USED, Ordering::Release);
-                self.inserts.fetch_add(1, Ordering::Relaxed);
+                self.inserts.fetch_add(1, Ordering::Relaxed); // ORDERING: stats.counter
                 Some(true)
             }
             Err(InsertError::KeyExists) => {
@@ -328,8 +335,9 @@ impl<V: Plain> ClockCache<V> {
                 self.evict_one();
                 match self.map.insert(key, (slot, value)) {
                     Ok(()) => {
+                        // ORDERING: publish.release-store
                         self.state[slot as usize].store(USED, Ordering::Release);
-                        self.inserts.fetch_add(1, Ordering::Relaxed);
+                        self.inserts.fetch_add(1, Ordering::Relaxed); // ORDERING: stats.counter
                         Some(true)
                     }
                     Err(InsertError::KeyExists) => {
@@ -364,6 +372,7 @@ impl<V: Plain> ClockCache<V> {
             let (slot, _) = self.map.get(&key)?;
             let si = slot as usize;
             if self.state[si]
+                // ORDERING: handoff.acqrel-rmw
                 .compare_exchange(USED, EVICTING, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
@@ -387,6 +396,7 @@ impl<V: Plain> ClockCache<V> {
                     // The entry moved or a racing delete/evictor got it;
                     // give the slot back to its current owner and
                     // re-examine the key.
+                    // ORDERING: publish.release-store
                     self.state[si].store(USED, Ordering::Release);
                 }
             }
@@ -489,6 +499,7 @@ impl<V: Plain> ClockCache<V> {
     fn alloc_slot(&self) -> u32 {
         loop {
             if let Some(slot) = self.free.lock().expect("freelist mutex poisoned").pop() {
+                // ORDERING: handoff.acqrel-rmw
                 let prev = self.state[slot as usize].swap(SETUP, Ordering::AcqRel);
                 debug_assert_eq!(prev, FREE);
                 return slot;
@@ -500,6 +511,7 @@ impl<V: Plain> ClockCache<V> {
     /// Returns a slot to the freelist (caller owns it as USED or
     /// EVICTING).
     fn release_slot(&self, slot: u32) {
+        // ORDERING: publish.release-store
         self.state[slot as usize].store(FREE, Ordering::Release);
         self.free.lock().expect("freelist mutex poisoned").push(slot);
     }
@@ -507,6 +519,7 @@ impl<V: Plain> ClockCache<V> {
     /// Gives up a SETUP slot we own (the hand cannot see SETUP slots, so
     /// the release is unconditional).
     fn abandon_slot(&self, slot: u32) {
+        // ORDERING: handoff.acqrel-rmw
         let prev = self.state[slot as usize].swap(FREE, Ordering::AcqRel);
         debug_assert_eq!(prev, SETUP);
         self.free.lock().expect("freelist mutex poisoned").push(slot);
@@ -518,19 +531,24 @@ impl<V: Plain> ClockCache<V> {
         // Bound the sweep: after two full revolutions every recency bit
         // has been cleared once, so a USED slot must yield.
         for _ in 0..self.capacity * 2 + 1 {
+            // ORDERING: alloc.unique-id
             let h = self.hand.fetch_add(1, Ordering::Relaxed) % self.capacity;
             if self.state[h]
+                // ORDERING: handoff.acqrel-rmw
                 .compare_exchange(USED, EVICTING, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
                 continue; // free, or another evictor owns it
             }
+            // ORDERING: handoff.acqrel-rmw
             if self.recency[h].swap(0, Ordering::AcqRel) != 0 {
                 // Second chance.
-                self.second_chances.fetch_add(1, Ordering::Relaxed);
+                self.second_chances.fetch_add(1, Ordering::Relaxed); // ORDERING: stats.counter
+                // ORDERING: publish.release-store
                 self.state[h].store(USED, Ordering::Release);
                 continue;
             }
+            // ORDERING: publish.acquire-load
             let key = self.slab_keys[h].load(Ordering::Acquire);
             // Remove only while the entry still references this slot: a
             // racing delete + re-put may have re-keyed the entry onto a

@@ -80,6 +80,7 @@ impl<const B: usize> BucketMeta<B> {
             // field at an 8-aligned address, and `size_of::<Self>()` is a
             // multiple of 8 covering `blocks * 8` bytes (trailing bytes
             // are the occupancy word/padding, masked off below).
+            // ORDERING: bucket.meta-acquire
             let block = unsafe { &*base.add(blk) }.load(Ordering::Acquire);
             let x = block ^ needle;
             // Exact per-byte zero detector (no cross-byte borrow, unlike
@@ -102,7 +103,7 @@ impl<const B: usize> BucketMeta<B> {
     /// Current occupancy bitmap.
     #[inline]
     pub fn occupied_mask(&self) -> u16 {
-        self.occupied.load(Ordering::Acquire)
+        self.occupied.load(Ordering::Acquire) // ORDERING: bucket.meta-acquire
     }
 
     /// Whether slot `slot` is occupied.
@@ -138,27 +139,27 @@ impl<const B: usize> BucketMeta<B> {
     /// written (publication order: data, then occupancy bit).
     #[inline]
     pub fn set_occupied(&self, slot: usize) {
-        self.occupied.fetch_or(1 << slot, Ordering::Release);
+        self.occupied.fetch_or(1 << slot, Ordering::Release); // ORDERING: bucket.meta-publish
     }
 
     /// Marks slot `slot` empty. The key/value become logically dead; the
     /// caller owns dropping them if needed.
     #[inline]
     pub fn clear_occupied(&self, slot: usize) {
-        self.occupied.fetch_and(!(1 << slot), Ordering::Release);
+        self.occupied.fetch_and(!(1 << slot), Ordering::Release); // ORDERING: bucket.meta-publish
     }
 
     /// The partial key stored at `slot` (meaningful only if occupied;
     /// reading a racing value is allowed — consumers validate).
     #[inline]
     pub fn partial(&self, slot: usize) -> u8 {
-        self.partials[slot].load(Ordering::Acquire)
+        self.partials[slot].load(Ordering::Acquire) // ORDERING: bucket.meta-acquire
     }
 
     /// Stores the partial key for `slot`.
     #[inline]
     pub fn set_partial(&self, slot: usize, tag: u8) {
-        self.partials[slot].store(tag, Ordering::Release);
+        self.partials[slot].store(tag, Ordering::Release); // ORDERING: bucket.meta-publish
     }
 
     /// Pointer to the atomic occupancy word (for transactional access).

@@ -7,6 +7,8 @@
 //! cache-line-padded shards chosen by bucket index, and `len()` sums them
 //! on demand.
 
+// ORDERING-FILE: stats.counter — sharded approximate counter: staleness is the design point.
+
 use std::sync::atomic::{AtomicIsize, Ordering};
 
 const SHARDS: usize = 64;

@@ -230,7 +230,7 @@ static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x9e37_79b9);
 impl RandomState {
     /// Creates a state with a fresh per-table seed.
     pub fn new() -> Self {
-        let n = SEED_COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let n = SEED_COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed); // ORDERING: alloc.unique-id
         RandomState { seed: mix64(n) }
     }
 
@@ -269,7 +269,7 @@ pub struct SipHashBuilder {
 impl SipHashBuilder {
     /// Creates a builder with fresh per-table keys.
     pub fn new() -> Self {
-        let n = SEED_COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let n = SEED_COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed); // ORDERING: alloc.unique-id
         SipHashBuilder {
             k0: mix64(n),
             k1: mix64(n ^ 0xdead_beef_cafe_f00d),

@@ -121,6 +121,7 @@ impl<K, V, const B: usize> Migration<K, V, B> {
 
     #[inline]
     fn chunk_done(&self, chunk: usize) -> bool {
+        // ORDERING: migration.chunk-poll
         self.chunk_states[chunk].load(Ordering::Acquire) == CHUNK_DONE
     }
 }
@@ -671,6 +672,8 @@ where
         // common write at its baseline cost while still pushing the
         // migration tail (cold chunks no write happens to cover) to
         // completion even without a background sweeper.
+        // ORDERING: advisory.relaxed — a sampling tick; only steers how
+        // often this writer volunteers for a sweep.
         if self.help_tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(HELP_SWEEP_INTERVAL) {
             self.help_sweep(mig, m, 1);
         }
@@ -1170,9 +1173,11 @@ where
     fn wait_chunk_done(&self, mig: &Migration<K, V, B>, m: *mut Migration<K, V, B>, c: usize) -> bool {
         let mut spins = 0u32;
         loop {
+            // ORDERING: migration.chunk-poll
             match mig.chunk_states[c].load(Ordering::Acquire) {
                 CHUNK_DONE => return true,
                 CHUNK_PENDING => {
+                    // ORDERING: migration.chunk-claim
                     if mig.chunk_states[c]
                         .compare_exchange(
                             CHUNK_PENDING,
@@ -1206,8 +1211,10 @@ where
         if !self.migrate_chunk(mig, m, c) {
             return false; // migration resolved (emergency rebuild)
         }
+        // ORDERING: migration.chunk-done
         mig.chunk_states[c].store(CHUNK_DONE, Ordering::Release);
         self.table_metrics.migration_chunks.inc();
+        // ORDERING: cold.seqcst — completion count; one increment per chunk.
         if mig.chunks_done.fetch_add(1, Ordering::SeqCst) + 1 == mig.n_chunks() {
             self.finalize_migration(m);
         }
@@ -1220,10 +1227,13 @@ where
         self.table_metrics.help_sweeps.inc();
         let total = mig.n_chunks();
         for _ in 0..max_chunks {
+            // ORDERING: alloc.unique-id — a rotation hint; any value works,
+            // distinct values just spread sweepers over the chunks.
             let start = mig.next_hint.fetch_add(1, Ordering::Relaxed) % total;
             let mut claimed = None;
             for off in 0..total {
                 let c = (start + off) % total;
+                // ORDERING: migration.chunk-poll, migration.chunk-claim — probe, then claim.
                 if mig.chunk_states[c].load(Ordering::Acquire) == CHUNK_PENDING
                     && mig.chunk_states[c]
                         .compare_exchange(

@@ -409,6 +409,7 @@ where
     /// caller must then discard whatever `f` accumulated and retry, or
     /// fall back to [`snapshot`](Self::snapshot).
     pub fn scan(&self, mut f: impl FnMut(&K, &V)) -> bool {
+        // ORDERING: exec.scan-counter
         let displacements_before = self.displacements.load(Ordering::SeqCst);
         let n_buckets = self.raw.n_buckets();
         for s in 0..self.stripes.len().min(n_buckets) {
@@ -429,6 +430,7 @@ where
                 bi += self.stripes.len();
             }
         }
+        // ORDERING: exec.scan-counter
         self.displacements.load(Ordering::SeqCst) == displacements_before
     }
 
@@ -840,7 +842,7 @@ where
                 // above and writers are excluded by the pair lock.
                 unsafe { self.raw.write_entry_racy(dst.bucket, ds, src.tag, k, v) };
             }
-            self.displacements.fetch_add(1, Ordering::SeqCst);
+            self.displacements.fetch_add(1, Ordering::SeqCst); // ORDERING: exec.scan-counter
         }
         true
     }

@@ -90,7 +90,7 @@ pub(crate) fn execute_hole_backwards<K, V, const B: usize>(
         // Bumped under the lock so `scan` (one stripe at a time)
         // observes the count move whenever an entry crosses stripes
         // during a fuzzy snapshot.
-        displacements.fetch_add(1, Ordering::SeqCst);
+        displacements.fetch_add(1, Ordering::SeqCst); // ORDERING: exec.scan-counter
     }
     true
 }

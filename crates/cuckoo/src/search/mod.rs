@@ -191,7 +191,7 @@ static SCRATCH_SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64
 /// calls get distinct buffers).
 pub fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
     let mut scratch = SCRATCH_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
-        let seed = SCRATCH_SEED.fetch_add(0x9e37_79b9, std::sync::atomic::Ordering::Relaxed);
+        let seed = SCRATCH_SEED.fetch_add(0x9e37_79b9, std::sync::atomic::Ordering::Relaxed); // ORDERING: alloc.unique-id
         SearchScratch::new(seed)
     });
     let r = f(&mut scratch);

@@ -20,6 +20,8 @@
 //! it is for quiescent or operator-initiated use (`stats reset`), where
 //! losing a handful of in-flight increments is acceptable.
 
+// ORDERING-FILE: stats.counter — every atomic here is a monotonic reporting counter.
+
 use metrics::{Counter, Gauge, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -85,12 +85,15 @@ impl VersionLock {
     /// Attempts to acquire the writer lock once.
     #[inline]
     pub fn try_lock(&self) -> bool {
+        // ORDERING: seqlock.advisory-probe — seeds the CAS below, which
+        // re-checks the value it read.
         let cur = self.word.load(Ordering::Relaxed);
         if cur & LOCKED != 0 {
             return false;
         }
         // Acquiring sets the lock bit and makes the version odd in one CAS
         // so readers see a single transition into the write window.
+        // ORDERING: seqlock.lock-acquire
         self.word
             .compare_exchange_weak(
                 cur,
@@ -120,16 +123,19 @@ impl VersionLock {
     /// Debug-asserts the lock is currently held.
     #[inline]
     pub fn unlock(&self) {
+        // ORDERING: seqlock.advisory-probe — the holder wrote this word
+        // last (it owns the lock); the store below carries the ordering.
         let cur = self.word.load(Ordering::Relaxed);
         debug_assert_ne!(cur & LOCKED, 0, "unlock of unheld VersionLock");
         debug_assert_eq!((cur & !LOCKED) % 2, 1, "version must be odd while locked");
+        // ORDERING: seqlock.unlock-release
         self.word.store((cur & !LOCKED) + 1, Ordering::Release);
     }
 
     /// Whether the writer lock is currently held.
     #[inline]
     pub fn is_locked(&self) -> bool {
-        self.word.load(Ordering::Relaxed) & LOCKED != 0
+        self.word.load(Ordering::Relaxed) & LOCKED != 0 // ORDERING: seqlock.advisory-probe
     }
 
     /// Begins an optimistic read: spins until the stripe is quiescent
@@ -139,6 +145,7 @@ impl VersionLock {
         let mut spins = 0u32;
         let mut watchdog = 0u64;
         loop {
+            // ORDERING: seqlock.read-begin
             let v = self.word.load(Ordering::Acquire);
             if v & LOCKED == 0 && v.is_multiple_of(2) {
                 return ReadStamp(v);
@@ -156,6 +163,7 @@ impl VersionLock {
     /// validating load — see DESIGN.md §5d for the pairing argument.
     #[inline]
     pub fn read_validate(&self, stamp: ReadStamp) -> bool {
+        // ORDERING: seqlock.validate — fence first, then the stamp re-load.
         std::sync::atomic::fence(Ordering::Acquire);
         self.word.load(Ordering::Acquire) == stamp.0
     }
@@ -163,7 +171,7 @@ impl VersionLock {
     /// Current raw version (for statistics and tests).
     #[inline]
     pub fn version(&self) -> u64 {
-        self.word.load(Ordering::Relaxed) & !LOCKED
+        self.word.load(Ordering::Relaxed) & !LOCKED // ORDERING: seqlock.advisory-probe
     }
 }
 
@@ -691,6 +699,7 @@ impl EpochRegistry {
         let slot = SLOT.with(|s| {
             let mut v = s.get();
             if v == usize::MAX {
+                // ORDERING: alloc.unique-id
                 v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % EPOCH_SLOTS;
                 s.set(v);
             }
@@ -699,18 +708,20 @@ impl EpochRegistry {
         let word = &self.slots[slot].0;
         let mut spins = 0u32;
         loop {
-            let cur = word.load(Ordering::SeqCst);
+            let cur = word.load(Ordering::SeqCst); // ORDERING: epoch.seqcst
             let next = if cur & !EPOCH_MASK == 0 {
                 // First pinner through this slot: publish the current
                 // global epoch. SeqCst orders this against the retirer's
                 // epoch bump, so a retire that precedes our pin is
                 // observed (we publish an epoch > its stamp).
+                // ORDERING: epoch.seqcst
                 COUNT_UNIT | self.global.load(Ordering::SeqCst)
             } else {
                 // Nested/concurrent pin: keep the slot's older epoch.
                 cur + COUNT_UNIT
             };
             if word
+                // ORDERING: epoch.seqcst
                 .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
@@ -724,7 +735,7 @@ impl EpochRegistry {
     /// allocation with, and advances the global epoch so later pins
     /// observe a greater value.
     pub fn retire_epoch(&self) -> u64 {
-        self.global.fetch_add(1, Ordering::SeqCst)
+        self.global.fetch_add(1, Ordering::SeqCst) // ORDERING: epoch.seqcst
     }
 
     /// The smallest epoch any active pin may still observe, or
@@ -733,7 +744,7 @@ impl EpochRegistry {
     pub fn min_active(&self) -> u64 {
         let mut min = u64::MAX;
         for s in self.slots.iter() {
-            let w = s.0.load(Ordering::SeqCst);
+            let w = s.0.load(Ordering::SeqCst); // ORDERING: epoch.seqcst
             if w & !EPOCH_MASK != 0 {
                 min = min.min(w & EPOCH_MASK);
             }
@@ -755,6 +766,7 @@ pub struct EpochGuard<'a> {
 
 impl Drop for EpochGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: epoch.seqcst
         let prev = self.word.fetch_sub(COUNT_UNIT, Ordering::SeqCst);
         debug_assert!(prev & !EPOCH_MASK != 0, "unpin without matching pin");
     }

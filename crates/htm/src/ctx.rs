@@ -126,6 +126,7 @@ impl MemCtx for DirectCtx {
         let addr = word as *const AtomicU64 as usize;
         if !self.seq_words.contains(&addr) {
             self.seq_words.push(addr);
+            // ORDERING: handoff.acqrel-rmw — odd-stamp the seqlock word.
             let prev = word.fetch_add(1, Ordering::AcqRel);
             debug_assert_eq!(prev % 2, 0, "seqlock word was already odd");
         }
@@ -137,6 +138,7 @@ impl MemCtx for DirectCtx {
             // SAFETY: `seq_write_begin`'s contract keeps the word valid
             // until the critical section completes, which is now.
             let word = unsafe { &*(addr as *const AtomicU64) };
+            // ORDERING: handoff.acqrel-rmw — even-stamp: publishes the writes.
             word.fetch_add(1, Ordering::AcqRel);
         }
         self.seq_words.clear();

@@ -199,6 +199,7 @@ impl ElidedLock {
 
     /// Whether the fallback lock is currently held.
     pub fn fallback_held(&self) -> bool {
+        // ORDERING: publish.acquire-load
         self.lock_word.load(Ordering::Acquire) != 0
     }
 
@@ -295,9 +296,11 @@ impl ElidedLock {
         let addr = self.lock_word.as_ptr() as usize;
         let mut spins = 0u32;
         loop {
+            // ORDERING: seqlock.advisory-probe — the CAS below re-checks.
             if self.lock_word.load(Ordering::Relaxed) == 0 {
                 let acquired = self.domain.locked_line_update(addr, || {
                     self.lock_word
+                        // ORDERING: handoff.acqrel-rmw
                         .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
                 });
@@ -310,12 +313,15 @@ impl ElidedLock {
     }
 
     fn release_fallback(&self) {
+        // ORDERING: seqlock.advisory-probe — we hold the lock; debug-only.
         debug_assert_eq!(self.lock_word.load(Ordering::Relaxed), 1);
+        // ORDERING: publish.release-store
         self.lock_word.store(0, Ordering::Release);
     }
 
     fn wait_fallback_free(&self) {
         let mut spins = 0u32;
+        // ORDERING: publish.acquire-load
         while self.lock_word.load(Ordering::Acquire) != 0 {
             backoff(&mut spins);
         }

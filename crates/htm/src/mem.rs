@@ -10,6 +10,28 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
+/// Orderings for the deliberately racy per-chunk copies.
+///
+/// In the real build these are Relaxed: the enclosing seqlock's
+/// version/fence pair supplies all ordering, and the atomics exist only
+/// to make the intentional race defined. Under `--cfg cuckoo_tsan` they
+/// strengthen to Acquire/Release so ThreadSanitizer — which does not
+/// model the fence-based validation argument — sees a happens-before
+/// edge on every chunk and stays quiet about the copies themselves
+/// while still checking everything around them.
+// ORDERING: htm.racy-chunk
+#[cfg(not(cuckoo_tsan))]
+pub(crate) const RACY_LOAD: Ordering = Ordering::Relaxed;
+// ORDERING: htm.racy-chunk
+#[cfg(not(cuckoo_tsan))]
+pub(crate) const RACY_STORE: Ordering = Ordering::Relaxed;
+// ORDERING: htm.racy-chunk
+#[cfg(cuckoo_tsan)]
+pub(crate) const RACY_LOAD: Ordering = Ordering::Acquire;
+// ORDERING: htm.racy-chunk
+#[cfg(cuckoo_tsan)]
+pub(crate) const RACY_STORE: Ordering = Ordering::Release;
+
 /// Scheduling point between per-chunk copies under the model checker:
 /// tearing *is* the interesting behavior here, so each chunk boundary
 /// must be a place where the scheduler can interleave a writer.
@@ -31,7 +53,7 @@ pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
         for i in 0..len / 8 {
             model_yield();
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
-            let v = unsafe { &*((addr + i * 8) as *const AtomicU64) }.load(Ordering::Relaxed);
+            let v = unsafe { &*((addr + i * 8) as *const AtomicU64) }.load(RACY_LOAD);
             // SAFETY: `dst` is valid for `len` bytes and 8-aligned.
             unsafe { (dst as *mut u64).add(i).write(v) };
         }
@@ -39,7 +61,7 @@ pub unsafe fn load_bytes(addr: usize, dst: *mut u8, len: usize) {
         for i in 0..len {
             model_yield();
             // SAFETY: in-bounds by the loop range; u8 has no alignment.
-            let v = unsafe { &*((addr + i) as *const AtomicU8) }.load(Ordering::Relaxed);
+            let v = unsafe { &*((addr + i) as *const AtomicU8) }.load(RACY_LOAD);
             // SAFETY: `dst` is valid for `len` bytes.
             unsafe { dst.add(i).write(v) };
         }
@@ -61,7 +83,7 @@ pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
             // SAFETY: in-bounds by the loop range; 8-aligned by the check.
             let v = unsafe { (src as *const u64).add(i).read() };
             // SAFETY: `addr` is valid for `len` bytes and 8-aligned.
-            unsafe { &*((addr + i * 8) as *const AtomicU64) }.store(v, Ordering::Relaxed);
+            unsafe { &*((addr + i * 8) as *const AtomicU64) }.store(v, RACY_STORE);
         }
     } else {
         for i in 0..len {
@@ -69,7 +91,7 @@ pub unsafe fn store_bytes(addr: usize, src: *const u8, len: usize) {
             // SAFETY: in-bounds by the loop range.
             let v = unsafe { src.add(i).read() };
             // SAFETY: `addr` is valid for `len` bytes; u8 has no alignment.
-            unsafe { &*((addr + i) as *const AtomicU8) }.store(v, Ordering::Relaxed);
+            unsafe { &*((addr + i) as *const AtomicU8) }.store(v, RACY_STORE);
         }
     }
 }

@@ -122,12 +122,14 @@ impl HtmDomain {
     /// Current value of the global version clock.
     #[inline]
     pub(crate) fn clock_now(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.clock.load(Ordering::Acquire)
     }
 
     /// Advances the global clock, returning the new timestamp.
     #[inline]
     pub(crate) fn clock_advance(&self) -> u64 {
+        // ORDERING: handoff.acqrel-rmw
         self.clock.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -146,11 +148,13 @@ impl HtmDomain {
         let orec = self.orec(self.orec_index(addr));
         // Acquire the orec lock bit so we do not race a committing writer.
         loop {
+            // ORDERING: publish.acquire-load
             let cur = orec.load(Ordering::Acquire);
             if cur & OREC_LOCKED != 0 {
                 std::hint::spin_loop();
                 continue;
             }
+            // ORDERING: handoff.acqrel-rmw
             if orec
                 .compare_exchange_weak(cur, cur | OREC_LOCKED, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
@@ -160,6 +164,7 @@ impl HtmDomain {
         }
         let wv = self.clock_advance();
         debug_assert_eq!(wv & OREC_LOCKED, 0, "version clock overflowed into lock bit");
+        // ORDERING: publish.release-store
         orec.store(wv, Ordering::Release);
     }
 
@@ -178,11 +183,13 @@ impl HtmDomain {
         let orec = self.orec(self.orec_index(addr));
         let mut spins = 0u32;
         loop {
+            // ORDERING: publish.acquire-load
             let cur = orec.load(Ordering::Acquire);
             if cur & OREC_LOCKED != 0 {
                 crate::elision::backoff(&mut spins);
                 continue;
             }
+            // ORDERING: handoff.acqrel-rmw
             if orec
                 .compare_exchange_weak(cur, cur | OREC_LOCKED, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
@@ -191,8 +198,10 @@ impl HtmDomain {
                 if changed {
                     let wv = self.clock_advance();
                     debug_assert_eq!(wv & OREC_LOCKED, 0);
+                    // ORDERING: publish.release-store
                     orec.store(wv, Ordering::Release);
                 } else {
+                    // ORDERING: publish.release-store — unlock, version unchanged.
                     orec.store(cur, Ordering::Release);
                 }
                 return changed;

@@ -6,6 +6,8 @@
 //! the equivalent counters itself, so benchmarks can report abort rates
 //! alongside throughput.
 
+// ORDERING-FILE: stats.counter — every atomic here is a monotonic reporting counter.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic counters for one elided lock (or any transaction user).

@@ -149,6 +149,7 @@ impl<'t> Transaction<'t> {
         let read_set_start = self.scratch.read_set.len();
         for line in first_line..=last_line {
             let idx = self.domain.orec_index(line * CACHE_LINE);
+            // ORDERING: publish.acquire-load
             let ver = self.domain.orec(idx).load(Ordering::Acquire);
             if ver & OREC_LOCKED != 0 || ver > self.rv {
                 return Err(Abort::conflict());
@@ -171,6 +172,7 @@ impl<'t> Transaction<'t> {
         // Post-validate: if any covering orec changed during the copy, the
         // bytes may be torn.
         for &(idx, ver) in &self.scratch.read_set[read_set_start..] {
+            // ORDERING: publish.acquire-load
             if self.domain.orec(idx).load(Ordering::Acquire) != ver {
                 return Err(Abort::conflict());
             }
@@ -347,7 +349,9 @@ impl<'t> Transaction<'t> {
         'acquire: for (i, &(idx, _)) in s.commit_orecs.iter().enumerate() {
             let orec = self.domain.orec(idx);
             for _ in 0..self.domain.config().acquire_spin {
+                // ORDERING: publish.acquire-load
                 let cur = orec.load(Ordering::Acquire);
+                // ORDERING: handoff.acqrel-rmw
                 if cur & OREC_LOCKED == 0
                     && orec
                         .compare_exchange_weak(
@@ -371,6 +375,7 @@ impl<'t> Transaction<'t> {
         // Phase 2: validate the read set. A record we hold locked
         // ourselves validates against its pre-lock version.
         for &(idx, ver) in &s.read_set {
+            // ORDERING: publish.acquire-load
             let cur = self.domain.orec(idx).load(Ordering::Acquire);
             let ok = cur == ver
                 || (cur == (ver | OREC_LOCKED)
@@ -389,6 +394,7 @@ impl<'t> Transaction<'t> {
         for &addr in &s.seq_words {
             // SAFETY: caller of `seq_write_begin` guaranteed validity.
             let word = unsafe { &*(addr as *const AtomicU64) };
+            // ORDERING: handoff.acqrel-rmw — odd-stamp before the data lands.
             word.fetch_add(1, Ordering::AcqRel);
         }
         for e in &s.write_entries {
@@ -401,6 +407,7 @@ impl<'t> Transaction<'t> {
         for &addr in &s.seq_words {
             // SAFETY: as above.
             let word = unsafe { &*(addr as *const AtomicU64) };
+            // ORDERING: handoff.acqrel-rmw — even-stamp publishes the data.
             word.fetch_add(1, Ordering::AcqRel);
         }
 
@@ -419,10 +426,14 @@ fn release_orecs(domain: &HtmDomain, orecs: &[(u32, bool)], stamp: Option<u64>) 
     for &(idx, stamped) in orecs {
         let orec = domain.orec(idx);
         match stamp {
+            // ORDERING: publish.release-store
             Some(wv) if stamped => orec.store(wv, Ordering::Release),
             _ => {
+                // ORDERING: seqlock.advisory-probe — we hold the lock bit;
+                // the value is ours, no synchronization rides on the load.
                 let cur = orec.load(Ordering::Relaxed);
                 debug_assert!(cur & OREC_LOCKED != 0);
+                // ORDERING: publish.release-store
                 orec.store(cur & !OREC_LOCKED, Ordering::Release);
             }
         }

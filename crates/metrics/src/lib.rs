@@ -28,6 +28,8 @@
 //! operator-initiated use (`stats reset`), where losing a handful of
 //! in-flight increments is acceptable.
 
+// ORDERING-FILE: stats.counter — the metrics registry is reporting counters by design (PR 5).
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone event counter.

@@ -90,7 +90,9 @@ impl CommitQueue {
         loop {
             // Cheap pre-check outside the lock; the authoritative check
             // rides the mutex below.
+            // ORDERING: publish.acquire-load
             if self.pending_bytes.load(Ordering::Acquire) >= self.max_pending_bytes
+                // ORDERING: publish.acquire-load
                 && !self.shutdown.load(Ordering::Acquire)
             {
                 if !waited {
@@ -101,7 +103,9 @@ impl CommitQueue {
                 continue;
             }
             let mut st = self.pending.lock().expect("commit queue poisoned");
+            // ORDERING: publish.acquire-load
             if self.pending_bytes.load(Ordering::Acquire) >= self.max_pending_bytes
+                // ORDERING: publish.acquire-load
                 && !self.shutdown.load(Ordering::Acquire)
             {
                 drop(st);
@@ -117,7 +121,9 @@ impl CommitQueue {
             let mut frame = Vec::new();
             let n = encode_op(op, lsn, &mut frame);
             st.buf.push(PendingRecord { lsn, frame, enqueued: std::time::Instant::now() });
+            // ORDERING: publish.release-store
             self.pending_bytes.fetch_add(n, Ordering::Release);
+            // ORDERING: publish.release-store
             self.last_lsn.store(lsn, Ordering::Release);
             metrics.log_records.inc();
             metrics.log_bytes.add(n as u64);
@@ -132,6 +138,7 @@ impl CommitQueue {
         let bytes: usize = batch.iter().map(|r| r.frame.len()).sum();
         drop(st);
         if bytes != 0 {
+            // ORDERING: publish.release-store
             self.pending_bytes.fetch_sub(bytes, Ordering::Release);
         }
         batch
@@ -139,24 +146,30 @@ impl CommitQueue {
 
     /// Writer: the batch up to `lsn` has been handed to the OS.
     pub fn mark_written(&self, lsn: u64) {
+        // ORDERING: publish.release-store
         self.written_lsn.fetch_max(lsn, Ordering::Release);
     }
 
     /// Writer: everything up to `lsn` survived an fsync.
     pub fn mark_durable(&self, lsn: u64) {
+        // ORDERING: publish.acquire-load
         debug_assert!(lsn <= self.written_lsn.load(Ordering::Acquire));
+        // ORDERING: publish.release-store
         self.durable_lsn.fetch_max(lsn, Ordering::Release);
     }
 
     pub fn last_lsn(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.last_lsn.load(Ordering::Acquire)
     }
 
     pub fn written_lsn(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.written_lsn.load(Ordering::Acquire)
     }
 
     pub fn durable_lsn(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.durable_lsn.load(Ordering::Acquire)
     }
 
@@ -165,6 +178,7 @@ impl CommitQueue {
     pub fn sync(&self) {
         let target = self.last_lsn();
         while self.durable_lsn() < target {
+            // ORDERING: publish.release-store
             self.sync_requested.store(true, Ordering::Release);
             thread::yield_now();
         }
@@ -172,16 +186,19 @@ impl CommitQueue {
 
     /// Writer side of [`sync`](Self::sync): consumes the request flag.
     pub fn take_sync_request(&self) -> bool {
+        // ORDERING: handoff.acqrel-rmw
         self.sync_requested.swap(false, Ordering::AcqRel)
     }
 
     /// Stops accepting the backpressure wait (appends still succeed so a
     /// drain cannot deadlock) and tells the writer to finish.
     pub fn begin_shutdown(&self) {
+        // ORDERING: publish.release-store
         self.shutdown.store(true, Ordering::Release);
     }
 
     pub fn is_shutdown(&self) -> bool {
+        // ORDERING: publish.acquire-load
         self.shutdown.load(Ordering::Acquire)
     }
 }

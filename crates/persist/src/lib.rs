@@ -159,6 +159,7 @@ pub struct CompactionPause<'a> {
 
 impl Drop for CompactionPause<'_> {
     fn drop(&mut self) {
+        // ORDERING: handoff.acqrel-rmw
         self.ctl.paused.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -367,11 +368,13 @@ impl Persister {
     /// Completed log rotations; a tailer that reaches EOF and sees this
     /// change must reopen [`oplog_path`](Self::oplog_path).
     pub fn rotations(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.rotate.rotations.load(Ordering::Acquire)
     }
 
     /// The fresh `oplog` contains exactly the LSNs above this.
     pub fn rotate_lsn(&self) -> u64 {
+        // ORDERING: publish.acquire-load
         self.rotate.rotate_lsn.load(Ordering::Acquire)
     }
 
@@ -380,6 +383,7 @@ impl Persister {
     /// its "scan table at S, then stream the log above S" handoff in
     /// this so the file cannot be renamed away mid-handoff.
     pub fn pause_compaction(&self) -> CompactionPause<'_> {
+        // ORDERING: handoff.acqrel-rmw
         self.rotate.paused.fetch_add(1, Ordering::AcqRel);
         CompactionPause { ctl: &self.rotate }
     }
@@ -388,8 +392,8 @@ impl Persister {
     /// provider for the shutdown snapshot). With a zero
     /// `snapshot_interval` only the provider is recorded.
     pub fn start_snapshots(&self, provider: EntryProvider) {
-        *self.provider.lock().unwrap() = Some(Arc::clone(&provider));
-        let mut snapshotter = self.snapshotter.lock().unwrap();
+        *self.provider.lock().expect("provider mutex poisoned") = Some(Arc::clone(&provider));
+        let mut snapshotter = self.snapshotter.lock().expect("snapshotter mutex poisoned");
         if self.cfg.snapshot_interval.is_zero() || snapshotter.is_some() {
             return;
         }
@@ -402,17 +406,21 @@ impl Persister {
         let h = std::thread::Builder::new()
             .name("persist-snapshot".into())
             .spawn(move || {
+                // ORDERING: publish.acquire-load
                 while !stop.load(Ordering::Acquire) {
                     // Sleep in short slices so shutdown is prompt.
                     let mut slept = Duration::ZERO;
+                    // ORDERING: publish.acquire-load
                     while slept < interval && !stop.load(Ordering::Acquire) {
                         let step = Duration::from_millis(50).min(interval - slept);
                         std::thread::sleep(step);
                         slept += step;
                     }
+                    // ORDERING: publish.acquire-load
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
+                    // ORDERING: publish.acquire-load
                     if rotate.paused.load(Ordering::Acquire) != 0 {
                         continue;
                     }
@@ -435,7 +443,7 @@ impl Persister {
         let provider = self
             .provider
             .lock()
-            .unwrap()
+            .expect("provider mutex poisoned")
             .clone()
             .ok_or_else(|| io::Error::other("no entry provider registered"))?;
         snapshot_cycle(
@@ -455,13 +463,14 @@ impl Persister {
     /// All appenders must be quiesced first (the server drains
     /// connections before calling this).
     pub fn shutdown(&self) -> io::Result<()> {
+        // ORDERING: handoff.acqrel-rmw
         if self.finished.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
         self.stop_threads();
         let last = self.queue.durable_lsn();
         debug_assert_eq!(last, self.queue.last_lsn());
-        let provider = self.provider.lock().unwrap().clone();
+        let provider = self.provider.lock().expect("provider mutex poisoned").clone();
         if let Some(p) = &provider {
             let entries = p();
             snapshot::write(&self.cfg.dir, last, &entries)?;
@@ -478,12 +487,13 @@ impl Persister {
     }
 
     fn stop_threads(&self) {
+        // ORDERING: publish.release-store
         self.snap_stop.store(true, Ordering::Release);
-        if let Some(h) = self.snapshotter.lock().unwrap().take() {
+        if let Some(h) = self.snapshotter.lock().expect("snapshotter mutex poisoned").take() {
             let _ = h.join();
         }
         self.queue.begin_shutdown();
-        if let Some(h) = self.writer.lock().unwrap().take() {
+        if let Some(h) = self.writer.lock().expect("writer mutex poisoned").take() {
             let _ = h.join();
         }
     }
@@ -507,15 +517,21 @@ fn snapshot_cycle(
     stop: &AtomicBool,
 ) -> io::Result<()> {
     // 1. Rotate, so the records to be covered sit in a frozen file.
+    // ORDERING: publish.acquire-load
     let before = rotate.rotations.load(Ordering::Acquire);
+    // ORDERING: publish.release-store
     rotate.requested.store(true, Ordering::Release);
+    // ORDERING: publish.acquire-load
     while rotate.rotations.load(Ordering::Acquire) == before {
+        // ORDERING: publish.acquire-load
         if stop.load(Ordering::Acquire) || queue.is_shutdown() {
+            // ORDERING: publish.release-store
             rotate.requested.store(false, Ordering::Release);
             return Ok(());
         }
         std::thread::yield_now();
     }
+    // ORDERING: publish.acquire-load
     let r = rotate.rotate_lsn.load(Ordering::Acquire);
 
     // 2. Scan the live table *after* the rotation. Apply-before-append
@@ -552,8 +568,8 @@ fn read_clean_marker(dir: &Path) -> Option<u64> {
     let mut buf = Vec::new();
     File::open(dir.join(CLEAN_MARKER)).ok()?.read_to_end(&mut buf).ok()?;
     let b: &[u8; 12] = buf.as_slice().try_into().ok()?;
-    let lsn = u64::from_le_bytes(b[..8].try_into().unwrap());
-    let crc = u32::from_le_bytes(b[8..].try_into().unwrap());
+    let lsn = u64::from_le_bytes(b[..8].try_into().expect("8-byte slice of a [u8; 12]"));
+    let crc = u32::from_le_bytes(b[8..].try_into().expect("4-byte slice of a [u8; 12]"));
     (record::crc32(&b[..8]) == crc).then_some(lsn)
 }
 

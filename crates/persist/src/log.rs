@@ -54,6 +54,7 @@ pub struct RotateCtl {
 impl RotateCtl {
     pub fn new(start_lsn: u64) -> Self {
         let ctl = RotateCtl::default();
+        // ORDERING: advisory.relaxed
         ctl.rotate_lsn.store(start_lsn, Ordering::Relaxed);
         ctl
     }
@@ -129,16 +130,21 @@ fn writer_loop(
 
         // Rotation only at a batch boundary, with everything durable,
         // and never while a replication bootstrap holds the pause.
+        // ORDERING: publish.acquire-load
         if rotate.requested.load(Ordering::Acquire)
+            // ORDERING: publish.acquire-load
             && rotate.paused.load(Ordering::Acquire) == 0
             && queue.durable_lsn() == queue.written_lsn()
         {
+            // ORDERING: publish.release-store
             rotate.requested.store(false, Ordering::Release);
             drop(file);
             fs::rename(dir.join(OPLOG), dir.join(OPLOG_OLD))
                 .expect("persist: log rotation rename failed");
             file = open_log(dir);
+            // ORDERING: publish.release-store
             rotate.rotate_lsn.store(queue.written_lsn(), Ordering::Release);
+            // ORDERING: publish.release-store
             rotate.rotations.fetch_add(1, Ordering::Release);
         }
 

@@ -160,11 +160,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("take(4) is 4 bytes")))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("take(8) is 8 bytes")))
     }
 
     fn bytes(&mut self) -> Option<Vec<u8>> {
@@ -178,8 +178,8 @@ pub fn decode(buf: &[u8]) -> Decoded {
     if buf.len() < FRAME_HEADER {
         return Decoded::Incomplete;
     }
-    let crc = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-    let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte range"));
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte range")) as usize;
     if len == 0 || len > MAX_RECORD {
         return Decoded::Corrupt;
     }

@@ -100,7 +100,7 @@ fn parse(buf: &[u8]) -> io::Result<Snapshot> {
         return Err(bad("too short"));
     }
     let (body, trailer) = buf.split_at(buf.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let stored = u32::from_le_bytes(trailer.try_into().expect("split_at leaves a 4-byte trailer"));
     if crc32(body) != stored {
         return Err(bad("crc mismatch"));
     }
@@ -112,13 +112,13 @@ fn parse(buf: &[u8]) -> io::Result<Snapshot> {
         let end = *pos + 4;
         let b = buf.get(*pos..end).ok_or_else(|| bad("truncated field"))?;
         *pos = end;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        Ok(u32::from_le_bytes(b.try_into().expect("get(pos..pos + 4) is 4 bytes")))
     };
     let u64_at = |buf: &[u8], pos: &mut usize| -> io::Result<u64> {
         let end = *pos + 8;
         let b = buf.get(*pos..end).ok_or_else(|| bad("truncated field"))?;
         *pos = end;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        Ok(u64::from_le_bytes(b.try_into().expect("get(pos..pos + 8) is 8 bytes")))
     };
     let covers_lsn = u64_at(body, &mut pos)?;
     let n = u64_at(body, &mut pos)?;

@@ -8,6 +8,8 @@
 //! in the write buffer — pipelined clients get pipelined replies), then
 //! flushes as much of the write buffer as the socket accepts.
 
+// ORDERING-FILE: stats.counter — protocol-error tallies only.
+
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;

@@ -73,9 +73,11 @@ pub fn spawn_feeder(stream: TcpStream, pending: Vec<u8>, lsn: u64, ctx: Arc<Serv
             let Some(store) = ctx.persist.clone() else {
                 return; // execute() refuses `replicate` without a persister
             };
+            // ORDERING: handoff.acqrel-rmw
             let n = ctx.feeders.fetch_add(1, Ordering::AcqRel) + 1;
             store.persister().metrics().replicas_connected.set(n);
             let r = feed(stream, pending, lsn, &store, &ctx);
+            // ORDERING: handoff.acqrel-rmw
             let n = ctx.feeders.fetch_sub(1, Ordering::AcqRel) - 1;
             store.persister().metrics().replicas_connected.set(n);
             if let Err(e) = r {

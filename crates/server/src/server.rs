@@ -19,6 +19,7 @@
 //! responses (bounded by [`DRAIN_LIMIT`]), then sockets close and the
 //! threads join.
 
+// ORDERING-FILE: stats.counter — connection counters for the stats command.
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -108,14 +109,17 @@ impl ServerCtx {
     }
 
     pub fn is_read_only(&self) -> bool {
+        // ORDERING: publish.acquire-load
         self.read_only.load(Ordering::Acquire)
     }
 
     /// `promote`: stop following the primary, start taking writes.
     /// Returns `false` when this node was not a replica.
     pub fn promote(&self) -> bool {
+        // ORDERING: handoff.acqrel-rmw
         let was_replica = self.read_only.swap(false, Ordering::AcqRel);
         if was_replica {
+            // ORDERING: publish.release-store
             self.promoted.store(true, Ordering::Release);
         }
         was_replica
@@ -123,6 +127,7 @@ impl ServerCtx {
 
     /// The applier polls this to know when to detach.
     pub fn is_promoted(&self) -> bool {
+        // ORDERING: publish.acquire-load
         self.promoted.load(Ordering::Acquire)
     }
 }

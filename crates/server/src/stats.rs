@@ -2,6 +2,8 @@
 //! (from `workload::latency`) and connection counters, rendered as
 //! memcached `STAT` lines.
 
+// ORDERING-FILE: stats.counter — every atomic here is a monotonic reporting counter.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use workload::latency::LatencyHistogram;

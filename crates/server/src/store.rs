@@ -21,6 +21,8 @@
 //! time. Expiry is lazy — detected on access, counted via
 //! [`cache::CacheStats::expirations`].
 
+// ORDERING-FILE: stats.counter — hit/miss/eviction tallies and the monotonic CAS-id allocator.
+
 use cache::{CacheStats, ClockCache};
 use cuckoo::hash::SipHashBuilder;
 use cuckoo::CuckooMap;

@@ -16,6 +16,7 @@
 //! ([`crate::keygen`]); lookups target the thread's own already-inserted
 //! prefix (90% hits) or a random absent key (10% misses).
 
+// ORDERING-FILE: stats.counter — measurement counters read after the workers join.
 use crate::adapter::{BenchValue, ConcurrentMap, PutResult};
 use crate::keygen::{key_of, SplitMix64};
 use crate::latency::LatencyHistogram;
@@ -151,6 +152,7 @@ pub fn run_fill<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(map: &M, spec: &Fil
 
                     if local_batch >= batch_size || inserted == per_thread {
                         let now =
+                            // ORDERING: handoff.acqrel-rmw
                             progress.fetch_add(local_batch, Ordering::AcqRel) + local_batch;
                         local_batch = 0;
                         let stamp = start.elapsed().as_nanos() as u64;
@@ -159,6 +161,7 @@ pub fn run_fill<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(map: &M, spec: &Fil
                                 let _ = lo_times[w].compare_exchange(
                                     u64::MAX,
                                     stamp,
+                                    // ORDERING: handoff.acqrel-rmw
                                     Ordering::AcqRel,
                                     Ordering::Relaxed,
                                 );
@@ -167,6 +170,7 @@ pub fn run_fill<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(map: &M, spec: &Fil
                                 let _ = hi_times[w].compare_exchange(
                                     u64::MAX,
                                     stamp,
+                                    // ORDERING: handoff.acqrel-rmw
                                     Ordering::AcqRel,
                                     Ordering::Relaxed,
                                 );
@@ -312,6 +316,7 @@ pub fn run_fill_latency<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(
                     inserted += 1;
                     local_batch += 1;
                     if local_batch >= batch_size || inserted == per_thread {
+                        // ORDERING: handoff.acqrel-rmw
                         global = progress.fetch_add(local_batch, Ordering::AcqRel) + local_batch;
                         local_batch = 0;
                     } else {
@@ -321,6 +326,7 @@ pub fn run_fill_latency<V: BenchValue, M: ConcurrentMap<V> + ?Sized>(
                 if local_batch > 0 {
                     // Flush the tail batch (a `TableFull` break) so the
                     // achieved-load accounting stays exact.
+                    // ORDERING: handoff.acqrel-rmw
                     progress.fetch_add(local_batch, Ordering::AcqRel);
                 }
             });

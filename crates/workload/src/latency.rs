@@ -10,6 +10,8 @@
 //! count), each split into 32 linear sub-buckets → ≤ ~3 % relative error,
 //! 2048 counters, `record` is two shifts and an add.
 
+// ORDERING-FILE: stats.counter — histogram buckets/sums are reporting counters.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const SUB_BITS: u32 = 5;

@@ -307,7 +307,7 @@ fn client_thread(
     // finish together even when unevenly scheduled; the claim windows
     // partition the budget, so the batch sizes sum to exactly total_ops.
     loop {
-        let prev = ops_done.fetch_add(spec.pipeline_depth as u64, Ordering::Relaxed);
+        let prev = ops_done.fetch_add(spec.pipeline_depth as u64, Ordering::Relaxed); // ORDERING: alloc.unique-id
         if prev >= spec.total_ops {
             break;
         }

@@ -1,0 +1,411 @@
+//! A small Rust lexer: classifies every source character as code,
+//! comment, or literal content.
+//!
+//! Both static-analysis passes (the SAFETY lint, the memory-ordering
+//! lint) and the mutation engine depend on this: a `SAFETY:` inside a
+//! string must not satisfy the lint, an `unsafe` inside a comment must
+//! not trigger it, and a mutation operator must never rewrite text
+//! inside a comment or string literal (the failure mode of the `sed`
+//! smokes this engine replaced).
+//!
+//! Tracked lexical structure: nested block comments, raw strings with
+//! hashes (`r#"…"#`, `br##"…"##`), escapes (including the `\<newline>`
+//! string line-continuation, which an earlier version of this lexer
+//! mis-lexed by swallowing the newline and shifting every subsequent
+//! line number), and the char-literal/lifetime ambiguity.
+
+/// Lexical class of one source character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Executable text, including string/char delimiters themselves.
+    Code,
+    /// Comment markers and comment text.
+    Comment,
+    /// The *contents* of string/char literals.
+    Lit,
+}
+
+/// A fully classified source file: `chars[i]` has class `classes[i]`.
+pub struct Lexed {
+    pub chars: Vec<char>,
+    pub classes: Vec<Class>,
+}
+
+/// Classifies every character of `src`.
+pub fn lex(src: &str) -> Lexed {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut classes = vec![Class::Code; chars.len()];
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Newlines are structural; a line comment ends here, every
+            // other state continues across the line boundary.
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    i += 2;
+                } else if c == '"' {
+                    // Raw string? Look back over '#'s for an `r` (or
+                    // `br`) that begins the token.
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && chars[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let is_raw = j > 0 && chars[j - 1] == 'r' && {
+                        let k = j - 1;
+                        if k == 0 {
+                            true
+                        } else if !is_ident(chars[k - 1]) {
+                            true
+                        } else {
+                            // `br"…"`: a `b` prefix that itself starts
+                            // the token.
+                            chars[k - 1] == 'b' && (k == 1 || !is_ident(chars[k - 2]))
+                        }
+                    };
+                    st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime ('a) vs char literal ('x', '\n').
+                    let c1 = chars.get(i + 1).copied();
+                    let c2 = chars.get(i + 2).copied();
+                    let is_char = match c1 {
+                        Some('\\') => true,
+                        Some(_) if c2 == Some('\'') => true,
+                        _ => false,
+                    };
+                    if is_char {
+                        st = St::CharLit;
+                    }
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                classes[i] = Class::Comment;
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                classes[i] = Class::Comment;
+                if c == '*' && next == Some('/') {
+                    classes[i + 1] = Class::Comment;
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    classes[i + 1] = Class::Comment;
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    classes[i] = Class::Lit;
+                    // Consume the escaped character too — unless it is a
+                    // newline (the `\<newline>` continuation), which the
+                    // top of the loop must see to keep line counts true.
+                    if matches!(chars.get(i + 1), Some(&n) if n != '\n') {
+                        classes[i + 1] = Class::Lit;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    classes[i] = Class::Lit;
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let n = hashes as usize;
+                    let closed = (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closed {
+                        st = St::Code;
+                        i += 1 + n;
+                    } else {
+                        classes[i] = Class::Lit;
+                        i += 1;
+                    }
+                } else {
+                    classes[i] = Class::Lit;
+                    i += 1;
+                }
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    classes[i] = Class::Lit;
+                    if matches!(chars.get(i + 1), Some(&n) if n != '\n') {
+                        classes[i + 1] = Class::Lit;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    classes[i] = Class::Lit;
+                    i += 1;
+                }
+            }
+        }
+    }
+    Lexed { chars, classes }
+}
+
+/// One source line after lexing: executable text with comments and
+/// literal contents blanked out, plus the comment text found on it.
+#[derive(Default, Clone)]
+pub struct LexedLine {
+    pub code: String,
+    pub comment: String,
+}
+
+/// Strips comments and string/char literal contents, line by line.
+pub fn lex_lines(src: &str) -> Vec<LexedLine> {
+    let lexed = lex(src);
+    let mut lines = vec![LexedLine::default()];
+    for (&c, &class) in lexed.chars.iter().zip(lexed.classes.iter()) {
+        if c == '\n' {
+            lines.push(LexedLine::default());
+            continue;
+        }
+        let line = lines.last_mut().expect("at least one line");
+        match class {
+            Class::Code => line.code.push(c),
+            Class::Comment => line.comment.push(c),
+            Class::Lit => {}
+        }
+    }
+    lines
+}
+
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Word-boundary search for `word` in `code` starting at `from`.
+pub fn find_word(code: &[char], from: usize, word: &str) -> Option<usize> {
+    let w: Vec<char> = word.chars().collect();
+    let mut i = from;
+    while i + w.len() <= code.len() {
+        if code[i..i + w.len()] == w[..] {
+            let before_ok = i == 0 || !is_ident(code[i - 1]);
+            let after_ok = i + w.len() == code.len() || !is_ident(code[i + w.len()]);
+            if before_ok && after_ok {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Blanks the code of every line inside a `#[cfg(test)] mod … { … }`
+/// block, so lints scoped to product code (the unwrap forbid, the
+/// ordering lint) skip test bodies. Comments are preserved (a tag in a
+/// test comment still does not cover product sites — coverage is
+/// line-window based and test code sits inside the blanked region).
+pub fn blank_test_mods(lines: &mut [LexedLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        if !(code.starts_with("#[cfg(test)]") || code.starts_with("#[cfg(all(test")) {
+            i += 1;
+            continue;
+        }
+        // Find the `mod` item this attribute covers (allowing further
+        // attributes/blank lines in between).
+        let mut j = i + 1;
+        while j < lines.len() {
+            let c = lines[j].code.trim();
+            if c.is_empty() || c.starts_with("#[") {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        let is_mod = j < lines.len() && {
+            let c: Vec<char> = lines[j].code.trim().chars().collect();
+            find_word(&c, 0, "mod") == Some(0)
+                || (find_word(&c, 0, "pub").is_some() && find_word(&c, 0, "mod").is_some())
+        };
+        if !is_mod {
+            i += 1;
+            continue;
+        }
+        // Blank from the `mod` line until its braces balance.
+        let mut depth = 0i64;
+        let mut seen_open = false;
+        while j < lines.len() {
+            for ch in lines[j].code.chars() {
+                if ch == '{' {
+                    depth += 1;
+                    seen_open = true;
+                } else if ch == '}' {
+                    depth -= 1;
+                }
+            }
+            lines[j].code.clear();
+            j += 1;
+            if seen_open && depth <= 0 {
+                break;
+            }
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        lex_lines(src)
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let a = r#\"unsafe { } // SAFETY: nope\"#;\nlet b = r\"x\";\n";
+        let lines = lex_lines(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.is_empty());
+        assert!(!lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_multi_hash() {
+        let src = "let a = br##\"tag \"# still in\"##; let x = 1;\n";
+        let lines = lex_lines(src);
+        assert!(lines[0].code.contains("let x = 1"), "{}", lines[0].code);
+        assert!(!lines[0].code.contains("still in"));
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_keeps_line_numbers() {
+        let src = "let a = r#\"line one\n// SAFETY: fake\nunsafe {}\n\"#;\nlet real = 2;\n";
+        let lines = lex_lines(src);
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].comment.is_empty(), "comment inside raw string");
+        assert!(lines[2].code.is_empty(), "unsafe inside raw string");
+        assert!(lines[4].code.contains("let real = 2"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        // Regression: the old lexer's escape handling skipped two chars
+        // unconditionally, swallowing the newline of a `\<newline>`
+        // continuation and shifting every later line number.
+        let src = "let s = \"abc\\\n   def\";\nlet after = 1;\n";
+        let lines = lex_lines(src);
+        assert_eq!(lines.len(), 4, "three lines + trailing empty");
+        assert!(lines[2].code.contains("let after = 1"), "{}", code_of(src));
+        assert!(!lines[1].code.contains("def"), "continuation is literal");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* unsafe { } */ still comment */ let x = 1;\n";
+        let lines = lex_lines(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let x = 1"));
+        assert!(lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) -> char { let q = '\"'; let n = '\\n'; q }\n";
+        let lines = lex_lines(src);
+        // The quote inside the char literal must not open a string.
+        assert!(lines[0].code.contains("let n ="));
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let src = "let s = \"a\\\"b // not a comment\"; let y = 3;\n";
+        let lines = lex_lines(src);
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains("let y = 3"));
+    }
+
+    #[test]
+    fn classes_align_with_chars() {
+        let src = "let s = \"lit\"; // comment\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.chars.len(), lexed.classes.len());
+        let lit: String = lexed
+            .chars
+            .iter()
+            .zip(&lexed.classes)
+            .filter(|(_, &k)| k == Class::Lit)
+            .map(|(&c, _)| c)
+            .collect();
+        assert_eq!(lit, "lit");
+        let comment: String = lexed
+            .chars
+            .iter()
+            .zip(&lexed.classes)
+            .filter(|(_, &k)| k == Class::Comment)
+            .map(|(&c, _)| c)
+            .collect();
+        assert_eq!(comment, "// comment");
+    }
+
+    #[test]
+    fn blank_test_mods_blanks_only_test_code() {
+        let src = "fn product() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() { z.unwrap(); }\n";
+        let mut lines = lex_lines(src);
+        blank_test_mods(&mut lines);
+        assert!(lines[0].code.contains("unwrap"));
+        assert!(lines[3].code.is_empty(), "test body blanked");
+        assert!(lines[5].code.contains("unwrap"), "code after mod kept");
+    }
+}

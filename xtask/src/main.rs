@@ -3,12 +3,20 @@
 //! Subcommands:
 //!
 //! * `check` — the full suite: SAFETY-comment lint, forbid-list,
-//!   lint-config audit, `cargo clippy -D warnings`, and a Miri pass over
-//!   the single-threaded smoke tests (skipped with a notice when Miri is
-//!   not installed — the container image has no nightly toolchain).
-//!   Flags: `--no-clippy`, `--no-miri` to skip the slow/toolchain steps.
+//!   memory-ordering lint, lint-config audit, `cargo clippy -D
+//!   warnings`, and a Miri pass over the single-threaded smoke tests
+//!   (skipped with a notice when Miri is not installed — the container
+//!   image has no nightly toolchain). Flags: `--no-clippy`, `--no-miri`
+//!   to skip the slow/toolchain steps.
 //! * `safety` — only the SAFETY-comment lint (fast inner loop).
 //! * `forbid` — only the forbid-list scan.
+//! * `orderings` — the memory-ordering lint (see [`orderings`]):
+//!   every atomic site justified against `xtask/orderings.toml`, site
+//!   inventory pinned in `xtask/orderings-inventory.tsv`
+//!   (`--write-inventory` regenerates it after review).
+//! * `mutate` — the mutation-testing engine (see [`mutate`]):
+//!   `--ci` pinned subset, `--all` full ordering-weakening matrix,
+//!   `--selftest` engine self-checks.
 //! * `selftest` — prove the lint machinery catches violations: runs
 //!   embedded good/bad fixtures through the same code paths CI relies
 //!   on, failing if a bad fixture passes or a good one is flagged.
@@ -18,30 +26,56 @@
 //! `unsafe impl`/`unsafe trait`) needs a `// SAFETY:` comment within
 //! the six lines above it, and an `unsafe fn` needs either a
 //! `# Safety` section in its doc comment or a nearby `// SAFETY:`.
-//! Comments and string literals are stripped by a small Rust lexer
-//! first, so a "SAFETY:" inside a string does not satisfy the lint and
-//! an "unsafe" inside a comment does not trigger it.
+//! Comments and string literals are stripped by the [`lexer`] first, so
+//! a "SAFETY:" inside a string does not satisfy the lint and an
+//! "unsafe" inside a comment does not trigger it.
+
+mod lexer;
+mod mutate;
+mod orderings;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-/// Crates held to the SAFETY-comment discipline. `crates/baselines` is
-/// deliberately exempt: it vendors reference baseline tables (chaining,
+use lexer::{blank_test_mods, find_word, is_ident, lex_lines, LexedLine};
+
+/// Directories exempt from the SAFETY-comment discipline:
+/// `crates/baselines` vendors reference baseline tables (chaining,
 /// dense probing) kept close to their upstream shape for fair
-/// comparison, and is not part of the concurrent product surface.
-const SAFETY_LINT_ROOTS: &[&str] = &[
-    "crates/cuckoo/src",
-    "crates/htm/src",
-    "crates/cache/src",
-    "crates/server/src",
-    "crates/workload/src",
-    "crates/bench/src",
-    "shims/loom/src",
-    "xtask/src",
-];
+/// comparison, and the non-loom shims mimic third-party crates'
+/// shapes. Everything else under `crates/*/src`, `shims/loom/src`,
+/// the root `src/`, and `xtask/src` is covered — newly added crates
+/// are picked up automatically instead of rotting off a hand-kept
+/// list (which is how `persist` and `metrics` escaped coverage).
+const SAFETY_EXEMPT: &[&str] = &["crates/baselines"];
+
+fn safety_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src"), root.join("xtask/src"), root.join("shims/loom/src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let rel = format!("crates/{}", entry.file_name().to_string_lossy());
+            if SAFETY_EXEMPT.contains(&rel.as_str()) {
+                continue;
+            }
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
 
 /// The forbid-list applies everywhere, baselines included.
-const FORBID_ROOTS: &[&str] = &["crates", "shims", "xtask/src"];
+const FORBID_ROOTS: &[&str] = &["crates", "shims", "src", "xtask/src"];
+
+/// Crates whose *lib* code must not call `.unwrap(` — the PR 3
+/// burn-down, continued: durability and the network front door are the
+/// two places a panic becomes data loss or a dropped connection, so
+/// every fallible site documents its invariant via `.expect("…")` or
+/// propagates. Tests are exempt (`#[cfg(test)]` mods are blanked).
+const UNWRAP_FORBID_ROOTS: &[&str] = &["crates/server/src", "crates/persist/src"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,9 +87,23 @@ fn main() -> ExitCode {
         "check" => run_check(&root, !flag("--no-clippy"), !flag("--no-miri")),
         "safety" => report("SAFETY lint", safety_lint(&root)),
         "forbid" => report("forbid-list", forbid_list(&root)),
+        "orderings" if flag("--write-inventory") => match orderings::write_inventory(&root) {
+            Ok(n) => {
+                println!("memory-ordering lint: inventory regenerated ({n} sites)");
+                true
+            }
+            Err(violations) => report("memory-ordering lint", violations),
+        },
+        "orderings" => report("memory-ordering lint", orderings::check(&root)),
+        "mutate" if flag("--all") => mutate::run_all(&root),
+        "mutate" if flag("--selftest") => mutate::run_selftest(&root),
+        "mutate" => mutate::run_ci(&root),
         "selftest" => run_selftest(),
         _ => {
-            eprintln!("usage: cargo xtask <check [--no-clippy] [--no-miri] | safety | forbid | selftest>");
+            eprintln!(
+                "usage: cargo xtask <check [--no-clippy] [--no-miri] | safety | forbid \
+                 | orderings [--write-inventory] | mutate [--ci|--all|--selftest] | selftest>"
+            );
             return ExitCode::from(2);
         }
     };
@@ -81,6 +129,7 @@ fn run_check(root: &Path, clippy: bool, miri: bool) -> bool {
     let mut ok = true;
     ok &= report("SAFETY lint", safety_lint(root));
     ok &= report("forbid-list", forbid_list(root));
+    ok &= report("memory-ordering lint", orderings::check(root));
     ok &= report("lint-config audit", lint_config_audit(root));
     if clippy {
         ok &= run_step(
@@ -163,8 +212,8 @@ fn run_miri(root: &Path) -> bool {
 
 fn safety_lint(root: &Path) -> Vec<String> {
     let mut violations = Vec::new();
-    for dir in SAFETY_LINT_ROOTS {
-        for file in rust_files(&root.join(dir)) {
+    for dir in safety_roots(root) {
+        for file in rust_files(&dir) {
             let src = match std::fs::read_to_string(&file) {
                 Ok(s) => s,
                 Err(e) => {
@@ -189,6 +238,16 @@ fn forbid_list(root: &Path) -> Vec<String> {
             };
             let rel = file.strip_prefix(root).unwrap_or(&file).display().to_string();
             violations.extend(forbid_in_source(&rel, &src));
+        }
+    }
+    for dir in UNWRAP_FORBID_ROOTS {
+        for file in rust_files(&root.join(dir)) {
+            let src = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let rel = file.strip_prefix(root).unwrap_or(&file).display().to_string();
+            violations.extend(unwrap_forbid_in_source(&rel, &src));
         }
     }
     violations
@@ -217,151 +276,6 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 /// How far above an `unsafe` keyword a `// SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 6;
 
-/// One source line after lexing: executable text with comments and
-/// literal contents blanked out, plus the comment text found on it.
-#[derive(Default, Clone)]
-struct LexedLine {
-    code: String,
-    comment: String,
-}
-
-/// Strips comments and string/char literal contents, line by line,
-/// tracking enough Rust lexical structure to be trustworthy: nested
-/// block comments, raw strings with hashes, escapes, and the
-/// char-literal/lifetime ambiguity.
-fn lex_lines(src: &str) -> Vec<LexedLine> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        CharLit,
-    }
-    let chars: Vec<char> = src.chars().collect();
-    let mut lines = vec![LexedLine::default()];
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            lines.push(LexedLine::default());
-            i += 1;
-            continue;
-        }
-        let line = lines.last_mut().expect("at least one line");
-        match st {
-            St::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    st = St::LineComment;
-                    line.comment.push_str("//");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(1);
-                    i += 2;
-                } else if c == '"' {
-                    // Raw string? Look back over '#'s for an 'r'.
-                    let mut hashes = 0usize;
-                    let code_chars: Vec<char> = line.code.chars().collect();
-                    let mut j = code_chars.len();
-                    while j > 0 && code_chars[j - 1] == '#' {
-                        hashes += 1;
-                        j -= 1;
-                    }
-                    if j > 0 && code_chars[j - 1] == 'r' {
-                        st = St::RawStr(hashes as u32);
-                    } else {
-                        st = St::Str;
-                    }
-                    line.code.push('"');
-                    i += 1;
-                } else if c == '\'' {
-                    // Lifetime ('a) vs char literal ('x', '\n').
-                    let c1 = chars.get(i + 1).copied();
-                    let c2 = chars.get(i + 2).copied();
-                    let is_char = match c1 {
-                        Some('\\') => true,
-                        Some(_) if c2 == Some('\'') => true,
-                        _ => false,
-                    };
-                    if is_char {
-                        st = St::CharLit;
-                    }
-                    line.code.push('\'');
-                    i += 1;
-                } else {
-                    line.code.push(c);
-                    i += 1;
-                }
-            }
-            St::LineComment => {
-                line.comment.push(c);
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    line.comment.push(c);
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    st = St::Code;
-                    line.code.push('"');
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let n = hashes as usize;
-                    let closed = (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                    if closed {
-                        st = St::Code;
-                        line.code.push('"');
-                        i += 1 + n;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            St::CharLit => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '\'' {
-                    st = St::Code;
-                    line.code.push('\'');
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-        }
-    }
-    lines
-}
-
 #[derive(Debug, PartialEq, Clone, Copy)]
 enum UnsafeKind {
     Block,
@@ -385,27 +299,6 @@ fn unsafe_sites(lines: &[LexedLine]) -> Vec<(usize, UnsafeKind)> {
         }
     }
     sites
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Word-boundary search for `word` in `code` starting at `from`.
-fn find_word(code: &[char], from: usize, word: &str) -> Option<usize> {
-    let w: Vec<char> = word.chars().collect();
-    let mut i = from;
-    while i + w.len() <= code.len() {
-        if code[i..i + w.len()] == w[..] {
-            let before_ok = i == 0 || !is_ident(code[i - 1]);
-            let after_ok = i + w.len() == code.len() || !is_ident(code[i + w.len()]);
-            if before_ok && after_ok {
-                return Some(i);
-            }
-        }
-        i += 1;
-    }
-    None
 }
 
 /// Reads the token after an `unsafe` keyword (possibly on a later line).
@@ -541,6 +434,26 @@ fn forbid_in_source(path: &str, src: &str) -> Vec<String> {
     violations
 }
 
+/// Opt-in `.unwrap(` forbid for [`UNWRAP_FORBID_ROOTS`] lib code. Test
+/// mods are blanked first: a test asserting its own fixture may unwrap.
+fn unwrap_forbid_in_source(path: &str, src: &str) -> Vec<String> {
+    let mut lines = lex_lines(src);
+    blank_test_mods(&mut lines);
+    let mut violations = Vec::new();
+    for (ln, line) in lines.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = line.code[from..].find(".unwrap(") {
+            violations.push(format!(
+                "{path}:{}: `.unwrap()` in lib code (state the invariant with \
+                 `.expect(\"…\")` or propagate the error)",
+                ln + 1
+            ));
+            from += pos + ".unwrap(".len();
+        }
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------
 // Lint-config audit
 // ---------------------------------------------------------------------
@@ -584,7 +497,10 @@ fn lint_config_audit(root: &Path) -> Vec<String> {
 }
 
 fn member_manifests(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
+    // The workspace root doubles as a package (examples/bins), so its
+    // manifest needs the `[lints]` opt-in too — it used to escape this
+    // walk along with any crate added under a new parent directory.
+    let mut out = vec![root.join("Cargo.toml")];
     for parent in ["crates", "shims"] {
         let Ok(entries) = std::fs::read_dir(root.join(parent)) else {
             continue;
@@ -713,8 +629,110 @@ fn run_selftest() -> bool {
             println!("selftest ok   [{}]", f.name);
         }
     }
+    ok &= selftest_unwrap_forbid();
+    ok &= selftest_unlisted_member();
+    ok &= selftest_orderings();
     if ok {
         println!("selftest: the gate gates");
+    }
+    ok
+}
+
+fn selftest_unwrap_forbid() -> bool {
+    let bad = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let good = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"caller checked\") }\n\
+                #[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+    let mut ok = true;
+    if unwrap_forbid_in_source("fixture.rs", bad).len() != 1 {
+        eprintln!("selftest FAILED [unwrap forbid]: lib unwrap not flagged");
+        ok = false;
+    }
+    if !unwrap_forbid_in_source("fixture.rs", good).is_empty() {
+        eprintln!("selftest FAILED [unwrap forbid]: expect/test unwrap flagged");
+        ok = false;
+    }
+    if ok {
+        println!("selftest ok   [unwrap forbid: lib flagged, tests exempt]");
+    }
+    ok
+}
+
+/// The lint-config audit must actually fail on a member missing the
+/// `[lints] workspace = true` opt-in — proved against a throwaway
+/// workspace on disk, since the audit's blind spot was precisely
+/// members its walk never visited.
+fn selftest_unlisted_member() -> bool {
+    let dir = std::env::temp_dir().join(format!("xtask-audit-selftest-{}", std::process::id()));
+    let member = dir.join("crates/rogue");
+    let cleanup = |dir: &Path| {
+        let _ = std::fs::remove_dir_all(dir);
+    };
+    if std::fs::create_dir_all(&member).is_err() {
+        eprintln!("selftest FAILED [unlisted member]: cannot create temp workspace");
+        return false;
+    }
+    let ws = "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.lints.rust]\nunsafe_op_in_unsafe_fn = \"deny\"\n";
+    let rogue = "[package]\nname = \"rogue\"\nversion = \"0.1.0\"\n";
+    if std::fs::write(dir.join("Cargo.toml"), ws).is_err()
+        || std::fs::write(member.join("Cargo.toml"), rogue).is_err()
+    {
+        cleanup(&dir);
+        eprintln!("selftest FAILED [unlisted member]: cannot write temp manifests");
+        return false;
+    }
+    let violations = lint_config_audit(&dir);
+    let flagged = violations.iter().any(|v| v.contains("rogue"));
+    let mut ok = flagged;
+    if !flagged {
+        eprintln!(
+            "selftest FAILED [unlisted member]: rogue crate without [lints] not flagged: {violations:?}"
+        );
+    }
+    let fixed = format!("{rogue}\n[lints]\nworkspace = true\n");
+    if std::fs::write(member.join("Cargo.toml"), fixed).is_ok() {
+        let violations = lint_config_audit(&dir);
+        if violations.iter().any(|v| v.contains("rogue")) {
+            eprintln!("selftest FAILED [unlisted member]: opted-in crate still flagged");
+            ok = false;
+        }
+    }
+    cleanup(&dir);
+    if ok {
+        println!("selftest ok   [lint-config audit flags a member missing [lints]]");
+    }
+    ok
+}
+
+/// Smoke fixtures for the ordering lint (full coverage lives in
+/// `orderings::tests`): a weakened tagged site and an untagged site
+/// must be flagged; the tagged original must pass.
+fn selftest_orderings() -> bool {
+    let rules = match orderings::parse_manifest(
+        "[[rule]]\nid = \"pub.rel\"\nsummary = \"publication store\"\nexact = [\"Release\"]\n",
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("selftest FAILED [orderings]: fixture manifest: {e}");
+            return false;
+        }
+    };
+    let good = "fn f(a: &AtomicU64) {\n    // ORDERING: pub.rel\n    a.store(1, Ordering::Release);\n}\n";
+    let weak = "fn f(a: &AtomicU64) {\n    // ORDERING: pub.rel\n    a.store(1, Ordering::Relaxed);\n}\n";
+    let untagged = "fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }\n";
+    let mut ok = true;
+    if !orderings::lint_sources(&rules, &[("x.rs", good)]).violations.is_empty() {
+        eprintln!("selftest FAILED [orderings]: tagged exact site flagged");
+        ok = false;
+    }
+    for (name, src) in [("weakened", weak), ("untagged", untagged)] {
+        let v = orderings::lint_sources(&rules, &[("x.rs", src)]).violations;
+        if !v.iter().any(|v| v.contains("x.rs")) {
+            eprintln!("selftest FAILED [orderings]: {name} site not flagged");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("selftest ok   [ordering lint: tagged passes, weakened/untagged flagged]");
     }
     ok
 }
