@@ -24,6 +24,7 @@ where
     let _ = workload::driver::run_fill(
         &filled,
         &FillSpec {
+            write_batch: 1,
             threads: 2,
             insert_ratio: 1.0,
             fill_to: 0.9,
@@ -34,6 +35,7 @@ where
     drop(filled);
     for &t in &thread_counts() {
         let spec = FillSpec {
+            write_batch: 1,
             threads: t,
             insert_ratio: 0.5,
             fill_to: 0.9,

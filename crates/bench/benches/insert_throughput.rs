@@ -1,0 +1,157 @@
+//! Extension experiment: batched (multi-key) insert throughput.
+//!
+//! The write-path mirror of `multiget_throughput`: `insert_many`
+//! software-pipelines groups of G inserts (hash all keys, prefetch
+//! both candidate bucket-metadata lines for write, sort the group by
+//! stripe rank and take the stripe locks once in ascending order,
+//! then SIMD-probe and write), so up to 2G independent DRAM misses
+//! are in flight instead of two, and G/stripe-collision lock
+//! acquisitions collapse into one. This bench fills a fresh table to
+//! the target load with bursts of G keys per `write_many` call and
+//! reports speedup over the single-key `insert` loop (G=1).
+//!
+//! Outputs `insert_throughput.csv` and `BENCH_insert.json` under
+//! `target/bench-results/`.
+//!
+//! Env knobs (for CI smoke runs):
+//! - `INSERT_TABLE_BITS`: log2 of table slots (default 22 — the table
+//!   must exceed the last-level cache for the effect this bench
+//!   measures, overlapped DRAM misses, to be visible; cache-resident
+//!   tables show only the lock-coalescing fraction of the win).
+//! - `INSERT_REPS`: fills per (load, batch) cell, best-of (default 3;
+//!   each rep builds a fresh table, so reps dominate wall time).
+//! - `INSERT_MIN_SPEEDUP`: if set, exit non-zero when the G=8 batch
+//!   at the higher load factor is slower than this multiple of the
+//!   single-insert baseline (CI regression gate).
+//! - `BENCH_COUNTERS`: set to `0` to omit the per-load observability
+//!   counter deltas (batch groups/keys/fallbacks, lock contention,
+//!   path-search stats...) from the JSON artifact; on by default.
+
+use bench::banner;
+use cuckoo::OptimisticCuckooMap;
+use workload::driver::{run_fill, FillSpec};
+use workload::report::{mops, Table};
+use workload::snapshot::{json_object, MetricSnapshot};
+use std::collections::BTreeMap;
+
+const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
+const LOADS: [f64; 2] = [0.50, 0.95];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+}
+
+fn main() {
+    let table_bits = env_usize("INSERT_TABLE_BITS", 22);
+    let reps = env_usize("INSERT_REPS", 3).max(1);
+    let threads = threads();
+
+    banner(
+        "Extension: insert throughput",
+        "software-pipelined insert_many vs single-key insert, by group size and load",
+    );
+    let mut out = Table::new(
+        "Insert throughput (Mops/s) by batch size",
+        &["load", "batch", "mops", "speedup"],
+    );
+
+    let dump_counters = std::env::var("BENCH_COUNTERS").map(|v| v != "0").unwrap_or(true);
+    // (load, batch) -> mops (best of `reps` fresh-table fills).
+    let mut results: BTreeMap<(u64, usize), f64> = BTreeMap::new();
+    // load -> JSON object of counter deltas from that load's G=8 fill
+    // (the CI-gated configuration), proving the batch pipeline — not
+    // the per-key fallback — carried the inserts.
+    let mut counters: BTreeMap<u64, String> = BTreeMap::new();
+    for &load in &LOADS {
+        let load_key = (load * 100.0) as u64;
+        for &batch in &BATCHES {
+            let mut best = 0.0f64;
+            for rep in 0..reps {
+                let map: OptimisticCuckooMap<u64, u64, 8> =
+                    OptimisticCuckooMap::with_capacity(1 << table_bits);
+                let fill = FillSpec {
+                    write_batch: batch,
+                    threads,
+                    insert_ratio: 1.0,
+                    fill_to: load,
+                    windows: vec![],
+                };
+                let before = dump_counters.then(|| MetricSnapshot::take(&map));
+                let report = run_fill(&map, &fill);
+                assert!(!report.hit_full, "fill to {load} at G={batch} failed");
+                best = best.max(report.overall_mops);
+                // Counters come from the last G=8 rep; every rep of a
+                // config drives the same op mix, so any rep is
+                // representative.
+                if batch == 8 && rep == reps - 1 {
+                    if let Some(before) = before {
+                        let delta = MetricSnapshot::take(&map).delta(&before);
+                        counters.insert(load_key, json_object(&delta));
+                    }
+                }
+            }
+            results.insert((load_key, batch), best);
+            let base = results[&(load_key, 1)];
+            out.row(vec![
+                format!("{load:.2}"),
+                batch.to_string(),
+                mops(best),
+                format!("{:.2}x", best / base),
+            ]);
+        }
+    }
+    out.print();
+    let _ = out.write_csv("insert_throughput");
+
+    let dir = std::path::PathBuf::from("target/bench-results");
+    let _ = std::fs::create_dir_all(&dir);
+
+    let json_rows: Vec<String> = results
+        .iter()
+        .map(|(&(load, batch), &m)| {
+            format!(
+                "    {{\"load\": 0.{load:02}, \"batch\": {batch}, \"mops\": {m:.3}, \
+                 \"speedup\": {:.3}}}",
+                m / results[&(load, 1)]
+            )
+        })
+        .collect();
+    let counters_json = if counters.is_empty() {
+        String::from("{}")
+    } else {
+        let rows: Vec<String> =
+            counters.iter().map(|(load, obj)| format!("\"load_{load}\": {obj}")).collect();
+        format!("{{{}}}", rows.join(", "))
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"insert_throughput\",\n  \"table_slots\": {},\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \
+         \"counters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        1u64 << table_bits,
+        threads,
+        reps,
+        counters_json,
+        json_rows.join(",\n")
+    );
+    match std::fs::write(dir.join("BENCH_insert.json"), &json) {
+        Ok(()) => println!("\nwrote target/bench-results/BENCH_insert.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_insert.json: {e}"),
+    }
+
+    // Optional CI gate: G=8 at the highest load must beat the
+    // single-insert baseline by the given factor.
+    if let Ok(min) = std::env::var("INSERT_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("INSERT_MIN_SPEEDUP must be a float");
+        let load_key = (LOADS[LOADS.len() - 1] * 100.0) as u64;
+        let speedup = results[&(load_key, 8)] / results[&(load_key, 1)];
+        println!("gate: G=8 speedup at {load_key}% load = {speedup:.3}x (min {min})");
+        if speedup < min {
+            eprintln!("FAIL: batched insert speedup {speedup:.3}x below threshold {min}x");
+            std::process::exit(1);
+        }
+    }
+}

@@ -277,6 +277,25 @@ impl<V: Plain> ClockCache<V> {
         }
     }
 
+    /// Batched [`put`](Self::put): stores every pair in order, with
+    /// per-pair semantics (and counter updates) identical to `put` —
+    /// duplicates within a batch included, last write wins. Stage 1 of
+    /// the table's batched write pipeline is applied here: each group
+    /// of keys has both candidate bucket metadata lines prefetched
+    /// with write intent before any is written, so the group's cache
+    /// misses overlap instead of serializing. Slot allocation and
+    /// CLOCK eviction stay per-pair — the hand is inherently serial.
+    pub fn put_many(&self, pairs: &[(u64, V)]) {
+        for group in pairs.chunks(cuckoo::sync::WRITE_GROUP) {
+            for (key, _) in group {
+                self.map.prefetch_write_for(key);
+            }
+            for (key, value) in group {
+                self.put(*key, *value);
+            }
+        }
+    }
+
     /// Stores `key → value` only if the key is already present
     /// (memcached `replace`). Returns whether it stored.
     pub fn replace(&self, key: u64, value: V) -> bool {
@@ -609,6 +628,30 @@ mod tests {
         // Hit/miss accounting matched the per-key outcomes.
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 2 * keys.len() as u64);
+    }
+
+    #[test]
+    fn put_many_matches_put_semantics() {
+        let c: ClockCache<u64> = ClockCache::new(256);
+        c.put(2, 2); // incumbent: batch pair (2, 222) must replace it
+        // Inserts, replacements, and an in-batch duplicate (last wins),
+        // larger than one pipeline group.
+        let pairs: Vec<(u64, u64)> =
+            (0..20u64).map(|k| (k, k * 10)).chain([(2, 222), (5, 555), (5, 556)]).collect();
+        c.put_many(&pairs);
+        assert_eq!(c.get(2), Some(222));
+        assert_eq!(c.get(5), Some(556));
+        for k in [0u64, 1, 3, 4, 6, 19] {
+            assert_eq!(c.get(k), Some(k * 10), "key {k}");
+        }
+        let s = c.stats();
+        assert_eq!(s.inserts, 20, "one insert per distinct new key");
+        assert_eq!(s.updates, 4, "incumbent + in-batch duplicates replace in place");
+        // Eviction still bounds a batch bigger than the cache.
+        let flood: Vec<(u64, u64)> = (1_000..3_000u64).map(|k| (k, k)).collect();
+        c.put_many(&flood);
+        assert!(c.len() <= c.capacity());
+        assert!(c.stats().evictions > 0);
     }
 
     #[test]

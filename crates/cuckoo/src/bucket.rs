@@ -59,17 +59,49 @@ impl<const B: usize> BucketMeta<B> {
         }
     }
 
-    /// Bitmask of slots whose tag equals `tag`, compared eight tags per
-    /// 64-bit SWAR step (the lookup fast path scans `candidates =
-    /// match_tag_mask(tag) & occupied_mask()` instead of probing tags one
-    /// by one).
+    /// Bitmask of slots whose tag equals `tag` (the lookup fast path
+    /// scans `candidates = match_tag_mask(tag) & occupied_mask()` instead
+    /// of probing tags one by one).
+    ///
+    /// Dispatches to an explicit vector probe where one exists — SSE2 (or
+    /// AVX2, which selects the same 128-bit kernel at ≤16 ways) on
+    /// x86_64, runtime-detected once via `is_x86_feature_detected!`;
+    /// NEON on aarch64, compile-time — and otherwise to the portable
+    /// SWAR kernel [`BucketMeta::match_tag_mask_swar`], which also
+    /// serves as the differential-test oracle for every vector path.
+    /// Sanitized/model builds (`miri`, `cuckoo_model`, `cuckoo_tsan`)
+    /// and `--cfg cuckoo_force_swar` always take the SWAR kernel, whose
+    /// atomic block loads those tools understand; `--cfg
+    /// cuckoo_force_simd` asserts the vector path is live (see
+    /// [`tag_probe_kind`]).
+    #[inline]
+    pub fn match_tag_mask(&self, tag: u8) -> u16 {
+        #[cfg(all(
+            target_arch = "x86_64",
+            not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+        ))]
+        return self.match_tag_mask_sse2(tag);
+        #[cfg(all(
+            target_arch = "aarch64",
+            not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+        ))]
+        return self.match_tag_mask_neon(tag);
+        #[allow(unreachable_code)]
+        self.match_tag_mask_swar(tag)
+    }
+
+    /// Portable SWAR tag probe: eight tags compared per 64-bit step.
+    ///
+    /// Kept alongside the vector kernels as the fallback for targets
+    /// without one and as the oracle the differential proptests compare
+    /// them against.
     ///
     /// Like individual tag reads, the comparison is racy-but-race-free:
     /// the blocks are loaded through `AtomicU64` (the struct is 8-aligned
     /// and its size is always a multiple of 8, so whole-block loads stay
     /// in bounds; bytes beyond the tag array are masked off).
     #[inline]
-    pub fn match_tag_mask(&self, tag: u8) -> u16 {
+    pub fn match_tag_mask_swar(&self, tag: u8) -> u16 {
         const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
         let needle = 0x0101_0101_0101_0101u64.wrapping_mul(tag as u64);
         let base = self.partials.as_ptr().cast::<AtomicU64>();
@@ -98,6 +130,103 @@ impl<const B: usize> BucketMeta<B> {
             }
         }
         mask
+    }
+
+    /// SSE2 tag probe: every tag byte compared in one (or, for wide
+    /// buckets, one 128-bit) `pcmpeqb`. AVX2 detection selects the same
+    /// kernel — 256-bit lanes add nothing at ≤16 ways (see the dispatch
+    /// table in DESIGN.md §5j).
+    ///
+    /// Raciness contract: the vector load is a *non-atomic* read of bytes
+    /// that concurrent writers store through `AtomicU8`. That is the same
+    /// racy-but-validated discipline as the SWAR kernel's block loads
+    /// (§4.3.1) — every probe result is revalidated under a stripe lock
+    /// (writers) or a seqlock stamp (optimistic readers) before it is
+    /// believed, so a torn or stale byte can only cause a spurious
+    /// candidate or a retry, never a wrong answer. Sanitizers that flag
+    /// such reads (Miri, TSan, loom) are routed to the SWAR kernel by
+    /// `match_tag_mask`'s cfg dispatch and never reach this function.
+    #[cfg(all(
+        target_arch = "x86_64",
+        not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+    ))]
+    #[inline]
+    fn match_tag_mask_sse2(&self, tag: u8) -> u16 {
+        use core::arch::x86_64::{
+            __m128i, _mm_cmpeq_epi8, _mm_loadl_epi64, _mm_loadu_si128, _mm_movemask_epi8,
+            _mm_set1_epi8,
+        };
+        let base = self.partials.as_ptr().cast::<__m128i>();
+        // SAFETY: SSE2 is part of the x86_64 baseline, so every
+        // intrinsic in this function is available on any CPU this code
+        // can execute on (the cfg above restricts to x86_64).
+        let needle = unsafe { _mm_set1_epi8(tag as i8) };
+        let block = if B > 6 {
+            // SAFETY: `repr(C, align(8))` puts `partials` first, and
+            // `size_of::<Self>()` = 8-rounded `B + 2` ≥ 16 whenever
+            // B > 6, so the unaligned 16-byte load stays in bounds
+            // (bytes past the tag array are the occupancy word and
+            // padding, masked off below).
+            unsafe { _mm_loadu_si128(base) }
+        } else {
+            // SAFETY: the struct is 8-aligned and ≥ 8 bytes, so the
+            // 64-bit load stays in bounds for B ≤ 6 (trailing bytes
+            // masked off below).
+            unsafe { _mm_loadl_epi64(base) }
+        };
+        // Order the racy tag bytes after the occupancy/stamp loads the
+        // caller pairs them with, exactly like the SWAR kernel's
+        // per-block Acquire loads.
+        // ORDERING: simd_probe
+        core::sync::atomic::fence(core::sync::atomic::Ordering::Acquire);
+        // SAFETY: baseline SSE2 (see above); pure register ops.
+        let hits = unsafe { _mm_movemask_epi8(_mm_cmpeq_epi8(block, needle)) };
+        (hits as u16) & Self::FULL_MASK
+    }
+
+    /// NEON tag probe (aarch64 mandates NEON, so this is compile-time
+    /// dispatched). Same raciness contract as the SSE2 kernel.
+    #[cfg(all(
+        target_arch = "aarch64",
+        not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+    ))]
+    #[inline]
+    #[allow(unused_unsafe)]
+    fn match_tag_mask_neon(&self, tag: u8) -> u16 {
+        use core::arch::aarch64::{
+            vceq_u8, vceqq_u8, vdup_n_u8, vdupq_n_u8, vget_lane_u64, vld1_u8, vld1q_u8,
+            vreinterpret_u64_u8, vreinterpretq_u16_u8, vshrn_n_u16,
+        };
+        let base = self.partials.as_ptr().cast::<u8>();
+        let mut mask = 0u16;
+        if B > 6 {
+            // SAFETY: as in the SSE2 kernel, `size_of::<Self>()` ≥ 16
+            // for B > 6, so the 16-byte load stays in bounds; NEON has
+            // no byte movemask, so the 16 lanes are narrowed to one
+            // nibble each (the `vshrn` idiom) and the nibbles' low bits
+            // collected.
+            let eq = unsafe { vceqq_u8(vld1q_u8(base), vdupq_n_u8(tag)) };
+            // SAFETY: pure register-to-register lane shuffling on the
+            // comparison result above; no memory access.
+            let nibbles =
+                unsafe { vget_lane_u64(vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)), 0) };
+            for lane in 0..16 {
+                mask |= (((nibbles >> (4 * lane)) & 1) as u16) << lane;
+            }
+        } else {
+            // SAFETY: struct is 8-aligned and ≥ 8 bytes, so the 8-byte
+            // load stays in bounds for B ≤ 6.
+            let eq = unsafe { vget_lane_u64(vreinterpret_u64_u8(vceq_u8(vld1_u8(base), vdup_n_u8(tag))), 0) };
+            let mut hits = eq & 0x8080_8080_8080_8080;
+            while hits != 0 {
+                mask |= 1 << (hits.trailing_zeros() / 8);
+                hits &= hits - 1;
+            }
+        }
+        // Same pairing as the SWAR kernel's per-block Acquire loads.
+        // ORDERING: simd_probe
+        core::sync::atomic::fence(core::sync::atomic::Ordering::Acquire);
+        mask & Self::FULL_MASK
     }
 
     /// Current occupancy bitmap.
@@ -179,6 +308,80 @@ impl<const B: usize> BucketMeta<B> {
 impl<const B: usize> Default for BucketMeta<B> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Which engine [`BucketMeta::match_tag_mask`] dispatches to on this
+/// host/build (runtime CPU detection on x86_64, compile-time elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagProbeKind {
+    /// Portable 64-bit SWAR kernel (fallback and differential oracle).
+    Swar,
+    /// 128-bit `pcmpeqb` kernel (x86_64 baseline).
+    Sse2,
+    /// AVX2 detected; routes to the same 128-bit kernel because 256-bit
+    /// lanes add nothing at ≤16 ways — reported distinctly so operators
+    /// can see what the host offers.
+    Avx2,
+    /// 128-bit `vceqq_u8` kernel (aarch64 mandates NEON).
+    Neon,
+}
+
+#[cfg(all(cuckoo_force_simd, any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar)))]
+compile_error!(
+    "`cuckoo_force_simd` contradicts sanitizer/model/force-SWAR cfgs: those builds must \
+     take the atomic SWAR kernel"
+);
+
+/// The probe engine [`BucketMeta::match_tag_mask`] uses in this process.
+///
+/// On x86_64 the answer is detected once via `is_x86_feature_detected!`
+/// and cached; everywhere else it is a compile-time constant. Exposed so
+/// tests (and the `cuckoo_force_simd` CI run) can assert which kernel is
+/// actually live.
+pub fn tag_probe_kind() -> TagProbeKind {
+    #[cfg(all(
+        target_arch = "x86_64",
+        not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+    ))]
+    {
+        use core::sync::atomic::{AtomicU8, Ordering};
+        const UNKNOWN: u8 = 0;
+        const SSE2: u8 = 1;
+        const AVX2: u8 = 2;
+        static KIND: AtomicU8 = AtomicU8::new(UNKNOWN);
+        // Memoizes a pure CPU-feature probe: any thread that misses the
+        // cache re-derives the same value, so ordering is irrelevant.
+        // ORDERING: simd_probe
+        let mut k = KIND.load(Ordering::Relaxed);
+        if k == UNKNOWN {
+            k = if std::arch::is_x86_feature_detected!("avx2") { AVX2 } else { SSE2 };
+            // Same-value store by every racer (see load above).
+            // ORDERING: simd_probe
+            KIND.store(k, Ordering::Relaxed);
+        }
+        if k == AVX2 {
+            TagProbeKind::Avx2
+        } else {
+            TagProbeKind::Sse2
+        }
+    }
+    #[cfg(all(
+        target_arch = "aarch64",
+        not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+    ))]
+    {
+        TagProbeKind::Neon
+    }
+    #[cfg(any(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        miri,
+        cuckoo_model,
+        cuckoo_tsan,
+        cuckoo_force_swar
+    ))]
+    {
+        TagProbeKind::Swar
     }
 }
 
@@ -329,6 +532,80 @@ mod tests {
         assert_eq!(m.match_tag_mask(0x0f) & !BucketMeta::<4>::FULL_MASK, 0);
         assert_eq!(m.match_tag_mask(0x0f), 0, "tags are all zero");
         assert_eq!(m.match_tag_mask(0), 0xf, "all four zero tags match");
+    }
+
+    /// Fills a meta block with `tags` (and a ragged occupancy prefix) and
+    /// checks the dispatched probe against both the SWAR kernel and a
+    /// naive scan for a sweep of probe bytes.
+    fn probe_agrees<const B: usize>(tags: &[u8], occupied: usize) {
+        let m: BucketMeta<B> = BucketMeta::new();
+        for (s, &t) in tags.iter().enumerate().take(B) {
+            m.set_partial(s, t);
+        }
+        for s in 0..occupied.min(B) {
+            m.set_occupied(s);
+        }
+        let mut probes = vec![0u8, 1, 0x7f, 0x80, 0xfe, 0xff];
+        probes.extend(tags.iter().copied());
+        for probe in probes {
+            let naive: u16 =
+                (0..B).filter(|&s| m.partial(s) == probe).fold(0, |acc, s| acc | (1 << s));
+            assert_eq!(m.match_tag_mask_swar(probe), naive, "SWAR B={B} probe={probe:#x}");
+            assert_eq!(
+                m.match_tag_mask(probe),
+                naive,
+                "dispatched ({:?}) B={B} probe={probe:#x} tags={tags:?}",
+                super::tag_probe_kind()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Differential test across every interesting lane width: below,
+        /// at, and above the 8-byte SWAR block / both vector load widths
+        /// (8-byte for B ≤ 6, 16-byte above), with duplicate tags and
+        /// partial occupancy.
+        #[test]
+        fn simd_probe_equals_swar_oracle_on_random_tags(
+            tags in proptest::collection::vec(proptest::prelude::any::<u8>(), 16),
+            occupied in 0usize..=16,
+        ) {
+            probe_agrees::<2>(&tags, occupied);
+            probe_agrees::<4>(&tags, occupied);
+            probe_agrees::<6>(&tags, occupied);
+            probe_agrees::<7>(&tags, occupied);
+            probe_agrees::<8>(&tags, occupied);
+            probe_agrees::<12>(&tags, occupied);
+            probe_agrees::<16>(&tags, occupied);
+        }
+    }
+
+    #[test]
+    fn dispatched_probe_equals_swar_on_edge_patterns() {
+        // The deterministic cases the SWAR suite pinned, now also run
+        // through the dispatched (vector where available) probe.
+        probe_agrees::<4>(&[1, 2, 1, 0xff], 4);
+        probe_agrees::<8>(&[9; 8], 8);
+        probe_agrees::<8>(&[0x80, 0x7f, 0, 1, 0xfe, 0xff, 3, 0x80], 3);
+        probe_agrees::<16>(&[5; 16], 16);
+        probe_agrees::<16>(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16], 9);
+    }
+
+    #[test]
+    fn tag_probe_kind_matches_build() {
+        let kind = super::tag_probe_kind();
+        #[cfg(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))]
+        assert_eq!(kind, TagProbeKind::Swar);
+        // The force-SIMD CI run exists to prove the vector kernel is the
+        // one under test — fail loudly if dispatch fell back.
+        #[cfg(cuckoo_force_simd)]
+        assert_ne!(kind, TagProbeKind::Swar);
+        #[cfg(all(
+            target_arch = "x86_64",
+            not(any(miri, cuckoo_model, cuckoo_tsan, cuckoo_force_swar))
+        ))]
+        assert!(matches!(kind, TagProbeKind::Sse2 | TagProbeKind::Avx2));
+        let _ = kind;
     }
 
     #[test]

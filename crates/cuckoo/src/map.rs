@@ -43,7 +43,7 @@ use crate::hash::DefaultHashBuilder;
 use crate::hashing::{hash_of, key_slots, slots_from_hash, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, exec, EvictionPolicy, PathEntry};
-use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES};
+use crate::sync::{EpochRegistry, LockStripes, DEFAULT_STRIPES, MAX_BATCH_BUCKETS, WRITE_GROUP};
 use crate::stats::TableMetrics;
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
@@ -562,6 +562,150 @@ where
     pub fn upsert(&self, key: K, val: V) -> UpsertOutcome {
         self.insert_inner(key, val, true)
             .expect("upsert cannot fail: expansion handles fullness")
+    }
+
+    /// Batched insert: one result per entry, in order, equivalent to
+    /// calling [`insert`](Self::insert) per entry (duplicates within a
+    /// batch included). Groups of [`WRITE_GROUP`] entries are
+    /// software-pipelined: all keys hashed and both candidate metadata
+    /// lines prefetched with write intent, then the group's stripe set
+    /// acquired in one ascending, deduplicated
+    /// [`lock_batch`](LockStripes::lock_batch) pass, then each key
+    /// probed (vector tag match) and written in request order. Entries
+    /// needing a cuckoo path search — or hitting an in-flight migration
+    /// — individually fall back to the single-key insert.
+    pub fn insert_many(&self, entries: Vec<(K, V)>) -> Vec<Result<(), InsertError>> {
+        self.write_many_inner(entries, false)
+            .into_iter()
+            .map(|r| match r {
+                Ok(UpsertOutcome::Inserted) => Ok(()),
+                Ok(UpsertOutcome::Updated) => unreachable!("non-upsert updated"),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Batched [`upsert`](Self::upsert): same pipeline and equivalence
+    /// contract as [`insert_many`](Self::insert_many), reporting which of
+    /// insert/update happened per entry.
+    pub fn upsert_many(&self, entries: Vec<(K, V)>) -> Vec<UpsertOutcome> {
+        self.write_many_inner(entries, true)
+            .into_iter()
+            .map(|r| r.expect("upsert cannot fail: expansion handles fullness"))
+            .collect()
+    }
+
+    /// The pipelined engine behind `insert_many`/`upsert_many`.
+    fn write_many_inner(
+        &self,
+        entries: Vec<(K, V)>,
+        upsert: bool,
+    ) -> Vec<Result<UpsertOutcome, InsertError>> {
+        let _pin = self.epochs.pin();
+        let n = entries.len();
+        let mut out = Vec::with_capacity(n);
+        // `Option` slots so the group loop can move each entry exactly
+        // once (into a bucket, or into the single-key fallback).
+        let mut slots: Vec<Option<(K, V)>> = entries.into_iter().map(Some).collect();
+        let mut ks_buf = [KeySlots { i1: 0, i2: 0, tag: 1 }; WRITE_GROUP];
+        let mut buckets = [0usize; MAX_BATCH_BUCKETS];
+        let mut start = 0usize;
+        while start < n {
+            let glen = WRITE_GROUP.min(n - start);
+            let group = &mut slots[start..start + glen];
+            self.table_metrics.insert_batch_groups.inc();
+            self.table_metrics.insert_batch_keys.add(glen as u64);
+            let raw = self.current();
+            let migrating = !self.migration.load(Ordering::SeqCst).is_null();
+            // Stage 1: hash every key; on the stable path also prefetch
+            // both candidate metadata lines with write intent.
+            if !migrating {
+                for (j, e) in group.iter().enumerate() {
+                    let (key, _) = e.as_ref().expect("slot unconsumed before its group runs");
+                    let ks = slots_from_hash(hash_of(&self.hash_builder, key), raw.mask());
+                    ks_buf[j] = ks;
+                    buckets[2 * j] = ks.i1;
+                    buckets[2 * j + 1] = ks.i2;
+                    raw.prefetch_meta_write(ks.i1);
+                    raw.prefetch_meta_write(ks.i2);
+                }
+            }
+            if migrating {
+                // Migration in flight: the two-table single-key writer
+                // already orders its per-chunk work correctly; run the
+                // whole group through it.
+                self.table_metrics.insert_batch_fallbacks.add(glen as u64);
+                for e in group.iter_mut() {
+                    let (key, val) = e.take().expect("slot unconsumed");
+                    out.push(self.insert_inner(key, val, upsert));
+                }
+                start += glen;
+                continue;
+            }
+            // Stages 2+3 under the group's coalesced batch lock.
+            let g = self.stripes.lock_batch(&buckets[..glen * 2]);
+            if !self.table_is_stable(raw) {
+                // The table swapped (or a migration began) between
+                // `current()` and the lock: demote the whole group.
+                drop(g);
+                self.table_metrics.insert_batch_fallbacks.add(glen as u64);
+                for e in group.iter_mut() {
+                    let (key, val) = e.take().expect("slot unconsumed");
+                    out.push(self.insert_inner(key, val, upsert));
+                }
+                start += glen;
+                continue;
+            }
+            // Stage 3: in request order, so duplicate keys within the
+            // group observe one another exactly like a loop of single
+            // inserts would. The first key whose candidate pair is full
+            // demotes itself AND the rest of the group to the in-order
+            // single-key path below: its path search displaces entries
+            // that later keys' outcomes may depend on, so finishing the
+            // group under the batch lock first would not be
+            // loop-equivalent.
+            let mut demote_from = glen;
+            for (j, e) in group.iter_mut().enumerate() {
+                let ks = ks_buf[j];
+                let found = {
+                    let (key, _) = e.as_ref().expect("slot unconsumed");
+                    Self::locked_find(raw, ks, key)
+                };
+                if let Some((bi, s)) = found {
+                    if upsert {
+                        let (_key, val) = e.take().expect("slot unconsumed");
+                        // SAFETY: batch lock covers `bi`; slot occupied
+                        // (just found); readers are locked out.
+                        unsafe { *raw.bucket(bi).val_ptr(s) = val };
+                        out.push(Ok(UpsertOutcome::Updated));
+                    } else {
+                        *e = None; // drop the rejected entry
+                        out.push(Err(InsertError::KeyExists));
+                    }
+                } else if let Some((bi, slot)) = Self::locked_empty_slot(raw, ks) {
+                    let (key, val) = e.take().expect("slot unconsumed");
+                    // SAFETY: batch lock held; slot empty. Keys and
+                    // values move by plain writes — readers are locked
+                    // out, unlike the optimistic table.
+                    unsafe { raw.write_entry(bi, slot, ks.tag, key, val) };
+                    self.count.add(bi, 1);
+                    out.push(Ok(UpsertOutcome::Inserted));
+                } else {
+                    demote_from = j;
+                    break;
+                }
+            }
+            drop(g);
+            if demote_from < glen {
+                self.table_metrics.insert_batch_fallbacks.add((glen - demote_from) as u64);
+                for e in group[demote_from..].iter_mut() {
+                    let (key, val) = e.take().expect("fallback entry present");
+                    out.push(self.insert_inner(key, val, upsert));
+                }
+            }
+            start += glen;
+        }
+        out
     }
 
     /// Removes `key`, returning its value.
@@ -1798,6 +1942,40 @@ mod tests {
         assert_eq!(m.update(&"foo".to_string(), "baz".into()), Some("bar".into()));
         assert_eq!(m.remove(&"foo".to_string()), Some("baz".to_string()));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insert_many_batch_semantics_with_owned_types() {
+        // Non-`Plain` keys/values: every rejected or replaced entry must
+        // be dropped exactly once (no leaks, no double frees).
+        let m: CuckooMap<String, String, 8> = CuckooMap::with_capacity(512);
+        let entries: Vec<(String, String)> =
+            (0..100).map(|i| (format!("k{i}"), format!("v{i}"))).collect();
+        assert!(m.insert_many(entries.clone()).into_iter().all(|r| r.is_ok()));
+        let dup = m.insert_many(entries);
+        assert!(dup.into_iter().all(|r| r == Err(InsertError::KeyExists)));
+        let ups =
+            m.upsert_many((0..100).map(|i| (format!("k{i}"), format!("w{i}"))).collect());
+        assert!(ups.into_iter().all(|o| o == UpsertOutcome::Updated));
+        assert_eq!(m.get(&"k7".to_string()), Some("w7".to_string()));
+        assert_eq!(m.len(), 100);
+        assert!(m.metrics().insert_batch_groups.get() >= 3 * (100 / 8) as u64);
+        assert_eq!(m.metrics().insert_batch_keys.get(), 300);
+    }
+
+    #[test]
+    fn insert_many_expands_automatically_like_single_inserts() {
+        // A batch far beyond capacity forces expansion mid-stream; the
+        // group path must hand keys to the migrating single-key writer
+        // without losing or duplicating any.
+        let m: CuckooMap<u64, u64, 8> = CuckooMap::with_capacity(64);
+        let entries: Vec<(u64, u64)> = (0..1000).map(|k| (k, k ^ 0xabcd)).collect();
+        assert!(m.insert_many(entries).into_iter().all(|r| r.is_ok()));
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000 {
+            assert_eq!(m.get(&k), Some(k ^ 0xabcd), "key {k}");
+        }
+        assert!(m.capacity() >= 1000);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::hashing::{key_slots, KeySlots};
 use crate::raw::RawTable;
 use crate::search::{self, bfs, exec, EvictionPolicy, PathEntry};
 use crate::stats::{PathStats, PathStatsSnapshot, TableMetrics};
-use crate::sync::{LockStripes, DEFAULT_STRIPES};
+use crate::sync::{LockStripes, DEFAULT_STRIPES, MAX_BATCH_BUCKETS, WRITE_GROUP};
 use crate::sync2::atomic::{AtomicU64, Ordering};
 use crate::DEFAULT_MAX_SEARCH_SLOTS;
 use core::hash::{BuildHasher, Hash};
@@ -197,6 +197,21 @@ where
         key_slots(&self.hash_builder, key, self.raw.mask())
     }
 
+    /// Issues prefetch-for-store hints for both of `key`'s candidate
+    /// bucket metadata lines. This is the stage-1 hook for callers that
+    /// front the map with their own write pipeline (e.g. the CLOCK
+    /// cache's `put_many`): hash a whole group, hint every line, then
+    /// write — the group's cache misses overlap instead of serializing.
+    /// Pure hint; honors the builder's prefetch switch.
+    #[inline]
+    pub fn prefetch_write_for(&self, key: &K) {
+        if self.prefetch {
+            let ks = self.slots_of(key);
+            self.raw.prefetch_meta_write(ks.i1);
+            self.raw.prefetch_meta_write(ks.i2);
+        }
+    }
+
     /// Looks up `key`, returning a copy of its value. Lock-free.
     #[inline]
     pub fn get(&self, key: &K) -> Option<V> {
@@ -262,6 +277,135 @@ where
     /// full (paper §2.1 semantics).
     pub fn insert(&self, key: K, val: V) -> Result<(), InsertError> {
         self.insert_inner(key, val, false).map(|_| ())
+    }
+
+    /// Batched insert: one result per entry, in order, equivalent to
+    /// calling [`insert`](Self::insert) per entry (duplicates within a
+    /// batch included) — but groups of entries are software-pipelined:
+    ///
+    /// 1. hash every key and prefetch both candidate metadata lines with
+    ///    write intent, so the group's cache misses overlap;
+    /// 2. acquire the group's stripe set in one ascending, deduplicated
+    ///    [`lock_batch`](LockStripes::lock_batch) pass (keys sharing a
+    ///    stripe coalesce under a single acquisition);
+    /// 3. probe (vector tag match) and write each key in request order.
+    ///
+    /// The first key whose candidate buckets are full demotes itself and
+    /// the rest of its group to in-order single-key path-search inserts
+    /// after the batch lock drops (its displacements may change what the
+    /// remaining keys observe, so partial-group results under the batch
+    /// lock would not match the loop).
+    pub fn insert_many(&self, entries: &[(K, V)]) -> Vec<Result<(), InsertError>> {
+        self.write_many_inner(entries, false)
+            .into_iter()
+            .map(|r| r.map(|_| ()))
+            .collect()
+    }
+
+    /// Batched [`upsert`](Self::upsert): same pipeline and equivalence
+    /// contract as [`insert_many`](Self::insert_many), reporting which of
+    /// insert/update happened per entry.
+    pub fn upsert_many(&self, entries: &[(K, V)]) -> Vec<Result<UpsertOutcome, InsertError>> {
+        self.write_many_inner(entries, true)
+    }
+
+    /// The pipelined engine behind `insert_many`/`upsert_many`.
+    fn write_many_inner(
+        &self,
+        entries: &[(K, V)],
+        upsert: bool,
+    ) -> Vec<Result<UpsertOutcome, InsertError>> {
+        let mut out = Vec::with_capacity(entries.len());
+        let mut ks_buf = [KeySlots { i1: 0, i2: 0, tag: 1 }; WRITE_GROUP];
+        let mut buckets = [0usize; MAX_BATCH_BUCKETS];
+        for group in entries.chunks(WRITE_GROUP) {
+            self.table_metrics.insert_batch_groups.inc();
+            self.table_metrics.insert_batch_keys.add(group.len() as u64);
+            // Stage 1: hash + write-intent prefetch, back to back.
+            for (j, (key, _)) in group.iter().enumerate() {
+                let ks = self.slots_of(key);
+                ks_buf[j] = ks;
+                buckets[2 * j] = ks.i1;
+                buckets[2 * j + 1] = ks.i2;
+                if self.prefetch {
+                    self.raw.prefetch_meta_write(ks.i1);
+                    self.raw.prefetch_meta_write(ks.i2);
+                }
+            }
+            let mut demote_from = group.len();
+            {
+                // Stage 2: one coalesced ascending acquisition.
+                let _g = self.stripes.lock_batch(&buckets[..group.len() * 2]);
+                // Stage 3: in request order, so duplicate keys within the
+                // group observe one another exactly like a loop of
+                // single-key inserts would. The first key whose candidate
+                // pair is full demotes itself AND the rest of the group
+                // to the in-order single-key path below: its path search
+                // displaces entries that later keys' outcomes may depend
+                // on, so finishing the group under the batch lock first
+                // would not be loop-equivalent.
+                for (j, (key, val)) in group.iter().enumerate() {
+                    match self.locked_write_one(ks_buf[j], key, *val, upsert) {
+                        Some(r) => out.push(r),
+                        None => {
+                            demote_from = j;
+                            break;
+                        }
+                    }
+                }
+            }
+            if demote_from < group.len() {
+                self.table_metrics.insert_batch_fallbacks.add((group.len() - demote_from) as u64);
+                for (key, val) in &group[demote_from..] {
+                    out.push(self.insert_inner(*key, *val, upsert));
+                }
+            }
+        }
+        out
+    }
+
+    /// One key's stage-3 step under the group's batch lock: duplicate
+    /// check, then direct claim of an empty candidate slot. `None` means
+    /// both candidate buckets are full — the caller re-runs the key
+    /// through the single-key path-search insert once the batch lock is
+    /// released.
+    fn locked_write_one(
+        &self,
+        ks: KeySlots,
+        key: &K,
+        val: V,
+        upsert: bool,
+    ) -> Option<Result<UpsertOutcome, InsertError>> {
+        if let Some((bi, slot)) = self.locked_find(ks, key) {
+            if upsert {
+                // SAFETY: the batch lock covers `bi` (the caller holds
+                // every stripe of the group's candidate buckets);
+                // atomic-chunk store keeps racing optimistic readers
+                // race-free (they fail validation).
+                unsafe {
+                    htm::mem::store_bytes(
+                        self.raw.bucket(bi).val_ptr(slot) as usize,
+                        &val as *const V as *const u8,
+                        core::mem::size_of::<V>(),
+                    );
+                }
+                return Some(Ok(UpsertOutcome::Updated));
+            }
+            return Some(Err(InsertError::KeyExists));
+        }
+        for bi in [ks.i1, ks.i2] {
+            if let Some(slot) = self.raw.meta(bi).empty_slot() {
+                // SAFETY: batch lock held (stripe versions odd, readers
+                // retry); slot is empty.
+                unsafe { self.raw.write_entry_racy(bi, slot, ks.tag, *key, val) };
+                self.count.add(ks.i1, 1);
+                return Some(Ok(UpsertOutcome::Inserted));
+            }
+            if ks.i2 == ks.i1 {
+                break;
+            }
+        }
+        None
     }
 
     /// Inserts or replaces, reporting which happened. Fails only when the
@@ -896,6 +1040,48 @@ mod tests {
         for k in 0..target as u64 {
             assert_eq!(m.get(&k), Some(k), "key {k} lost");
         }
+    }
+
+    #[test]
+    fn insert_many_matches_loop_semantics() {
+        let m = Map::with_capacity(1024);
+        m.insert(3, 30).unwrap();
+        let results = m.insert_many(&[(1, 10), (2, 20), (3, 99), (1, 11)]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        assert_eq!(results[2], Err(InsertError::KeyExists));
+        assert_eq!(results[3], Err(InsertError::KeyExists), "in-batch duplicate");
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&3), Some(30));
+        let ups = m.upsert_many(&[(3, 300), (4, 40), (4, 44)]);
+        assert_eq!(ups[0], Ok(UpsertOutcome::Updated));
+        assert_eq!(ups[1], Ok(UpsertOutcome::Inserted));
+        assert_eq!(ups[2], Ok(UpsertOutcome::Updated), "in-batch duplicate updates");
+        assert_eq!(m.get(&3), Some(300));
+        assert_eq!(m.get(&4), Some(44));
+        assert_eq!(m.len(), 4);
+        assert!(m.metrics().insert_batch_groups.get() >= 2);
+        assert_eq!(m.metrics().insert_batch_keys.get(), 7);
+    }
+
+    #[test]
+    fn insert_many_falls_back_to_path_search_when_buckets_fill() {
+        // 90% fill of a 4-way table cannot complete on candidate-pair
+        // fast paths alone: some keys must take the single-key
+        // path-search fallback, and none may be lost or duplicated.
+        let m: OptimisticCuckooMap<u64, u64, 4> = Builder::new(256).build();
+        let n = (m.capacity() * 9 / 10) as u64;
+        let entries: Vec<(u64, u64)> = (0..n).map(|k| (k, k * 2 + 1)).collect();
+        for r in m.insert_many(&entries) {
+            r.unwrap();
+        }
+        assert_eq!(m.len(), n as usize);
+        for k in 0..n {
+            assert_eq!(m.get(&k), Some(k * 2 + 1), "key {k}");
+        }
+        let fb = m.metrics().insert_batch_fallbacks.get();
+        assert!(fb > 0, "dense fill must overflow some candidate pairs");
+        assert_eq!(m.metrics().insert_batch_keys.get(), n);
     }
 
     #[test]

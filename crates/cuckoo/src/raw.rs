@@ -99,6 +99,14 @@ impl<K, V, const B: usize> RawTable<K, V, B> {
         crate::prefetch::prefetch_read(self.meta(index) as *const BucketMeta<B>);
     }
 
+    /// Write-intent variant of [`prefetch_meta`](Self::prefetch_meta)
+    /// for the batched insert pipeline: the metadata line is about to be
+    /// locked and stored to, so prime it for ownership.
+    #[inline]
+    pub fn prefetch_meta_write(&self, index: usize) {
+        crate::prefetch::prefetch_write(self.meta(index) as *const BucketMeta<B>);
+    }
+
     /// Hints the start of bucket `index`'s entry storage (the key array)
     /// into cache, for lookups whose tag probe reported a candidate and
     /// will follow up with full-key comparisons.

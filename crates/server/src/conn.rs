@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use crate::proto::{self, Parsed, Request};
 use crate::stats::OpClass;
-use crate::store::StoreOutcome;
+use crate::store::{StoreCmd, StoreOutcome};
 use crate::ServerCtx;
 
 /// Read chunk size; also the growth step for the receive buffer.
@@ -145,6 +145,15 @@ impl Conn {
 
     /// Parses and executes every complete request in `rbuf`. Returns
     /// whether any request was handled.
+    ///
+    /// Storage bursts coalesce: when a parsed `set`/`add`/`replace` is
+    /// followed by more complete storage commands already sitting in
+    /// the buffer (a pipelining client), the whole run executes as one
+    /// [`StoreCmd`] batch through [`crate::store::Store::store_many`],
+    /// so the backend's pipelined write path amortizes its cache
+    /// misses across the burst. Replies are encoded per command, in
+    /// order, honoring each command's own `noreply` — the reply stream
+    /// is byte-identical to the unbatched loop.
     fn drain_requests(&mut self, ctx: &ServerCtx) -> bool {
         let mut consumed = 0;
         let mut any = false;
@@ -153,6 +162,36 @@ impl Conn {
                 Parsed::Ok { request, consumed: used } => {
                     any = true;
                     consumed += used;
+                    if let Request::Store { verb, key, flags, exptime, data, noreply } = &request {
+                        // A replica refuses mutations per command via
+                        // `execute`; only coalesce on a writable node.
+                        if !ctx.is_read_only() {
+                            let mut cmds = vec![StoreCmd {
+                                verb: *verb,
+                                key,
+                                flags: *flags,
+                                exptime: *exptime,
+                                data,
+                            }];
+                            let mut replies = vec![!*noreply];
+                            // Parse ahead: only complete storage
+                            // commands extend the burst; anything else
+                            // (including an incomplete tail) is left
+                            // for the outer loop to handle.
+                            while let Parsed::Ok {
+                                request:
+                                    Request::Store { verb, key, flags, exptime, data, noreply },
+                                consumed: used,
+                            } = proto::parse(&self.rbuf[consumed..])
+                            {
+                                cmds.push(StoreCmd { verb, key, flags, exptime, data });
+                                replies.push(!noreply);
+                                consumed += used;
+                            }
+                            execute_store_batch(&cmds, &replies, ctx, &mut self.wbuf);
+                            continue;
+                        }
+                    }
                     match execute(&request, ctx, &mut self.wbuf) {
                         Action::Continue => {}
                         Action::Quit => self.closing = true,
@@ -279,22 +318,15 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> Action {
             OpClass::Get
         }
         Request::Store { verb, key, flags, exptime, data, noreply } => {
-            let now = crate::store::now_secs();
-            let outcome = ctx.store.store(*verb, key, *flags, *exptime, data, now);
-            if outcome == StoreOutcome::TooLarge {
-                ctx.stats.too_large.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
-            if !noreply {
-                proto::encode_line(
-                    out,
-                    match outcome {
-                        StoreOutcome::Stored { .. } => "STORED",
-                        StoreOutcome::NotStored => "NOT_STORED",
-                        StoreOutcome::TooLarge => "SERVER_ERROR object too large for cache",
-                    },
-                );
-            }
-            OpClass::Store
+            // Shares the burst executor (which records its own latency
+            // samples) so single and coalesced stores stay one path.
+            execute_store_batch(
+                &[StoreCmd { verb: *verb, key, flags: *flags, exptime: *exptime, data }],
+                &[!*noreply],
+                ctx,
+                out,
+            );
+            return Action::Continue;
         }
         Request::Delete { key, noreply } => {
             let deleted = ctx.store.delete(key);
@@ -374,4 +406,44 @@ fn execute(req: &Request<'_>, ctx: &ServerCtx, out: &mut Vec<u8>) -> Action {
     };
     ctx.stats.record(class, t0.elapsed().as_nanos() as u64);
     Action::Continue
+}
+
+/// Executes a coalesced burst of storage commands as one batched
+/// [`crate::store::Store::store_many`] call, encoding per-command
+/// replies in order. `replies[i]` is `!noreply` for command `i`.
+fn execute_store_batch(
+    cmds: &[StoreCmd<'_>],
+    replies: &[bool],
+    ctx: &ServerCtx,
+    out: &mut Vec<u8>,
+) {
+    let t0 = Instant::now();
+    let now = crate::store::now_secs();
+    if cmds.len() > 1 {
+        ctx.stats.record_multiset(cmds.len());
+    }
+    let mut outcomes = Vec::with_capacity(cmds.len());
+    ctx.store.store_many(cmds, now, &mut outcomes);
+    for (outcome, &reply) in outcomes.iter().zip(replies) {
+        if *outcome == StoreOutcome::TooLarge {
+            ctx.stats.too_large.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        if reply {
+            proto::encode_line(
+                out,
+                match outcome {
+                    StoreOutcome::Stored { .. } => "STORED",
+                    StoreOutcome::NotStored => "NOT_STORED",
+                    StoreOutcome::TooLarge => "SERVER_ERROR object too large for cache",
+                },
+            );
+        }
+    }
+    // One histogram sample per command, amortized across the burst, so
+    // `cmd_set` still counts individual commands and the mean reflects
+    // per-command service time.
+    let per_cmd = t0.elapsed().as_nanos() as u64 / cmds.len() as u64;
+    for _ in 0..cmds.len() {
+        ctx.stats.record(OpClass::Store, per_cmd);
+    }
 }

@@ -21,7 +21,7 @@ use persist::record::Op;
 use persist::{Entry, PersistConfig, Persister, Recovered, WriteStripes};
 
 use crate::proto::StoreVerb;
-use crate::store::{now_secs, ItemOut, Store, StoreOutcome, StoreStats};
+use crate::store::{now_secs, ItemOut, Store, StoreCmd, StoreOutcome, StoreStats};
 
 /// Stripe count: enough dispersion that unrelated keys essentially never
 /// share a lock, small enough that `flush_all`'s lock-all sweep is cheap.
@@ -136,6 +136,22 @@ impl Store for PersistentStore {
             });
         }
         outcome
+    }
+
+    fn store_many(&self, cmds: &[StoreCmd<'_>], now: u32, out: &mut Vec<StoreOutcome>) {
+        // Deliberately the per-command loop, NOT the inner engine's
+        // batched path: the durability contract requires each op to
+        // apply to the map and append to the log under its key's write
+        // stripe, so two racing writers of one key log in map order.
+        // A batched inner write would need every key's stripe held
+        // around one multi-append — serializing unrelated keys for no
+        // recovery benefit. Burst coalescing therefore speeds up the
+        // non-durable engines and leaves the logged path's ordering
+        // exactly as audited.
+        out.clear();
+        out.extend(
+            cmds.iter().map(|c| self.store(c.verb, c.key, c.flags, c.exptime, c.data, now)),
+        );
     }
 
     fn delete(&self, key: &[u8]) -> bool {

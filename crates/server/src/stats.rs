@@ -60,6 +60,12 @@ pub struct ServerStats {
     /// Total keys carried by those batched requests (so
     /// `multiget_keys / multiget_batches` is the mean batch size).
     pub multiget_keys: AtomicU64,
+    /// Pipelined storage-command bursts coalesced into one batched
+    /// `store_many` call.
+    pub multiset_batches: AtomicU64,
+    /// Total commands carried by those bursts (so
+    /// `multiset_keys / multiset_batches` is the mean burst size).
+    pub multiset_keys: AtomicU64,
 }
 
 impl ServerStats {
@@ -76,6 +82,8 @@ impl ServerStats {
             too_large: AtomicU64::new(0),
             multiget_batches: AtomicU64::new(0),
             multiget_keys: AtomicU64::new(0),
+            multiset_batches: AtomicU64::new(0),
+            multiset_keys: AtomicU64::new(0),
         }
     }
 
@@ -87,6 +95,12 @@ impl ServerStats {
     pub fn record_multiget(&self, keys: usize) {
         self.multiget_batches.fetch_add(1, Ordering::Relaxed);
         self.multiget_keys.fetch_add(keys as u64, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced storage burst of `cmds` commands.
+    pub fn record_multiset(&self, cmds: usize) {
+        self.multiset_batches.fetch_add(1, Ordering::Relaxed);
+        self.multiset_keys.fetch_add(cmds as u64, Ordering::Relaxed);
     }
 
     fn histogram(&self, class: OpClass) -> &LatencyHistogram {
@@ -129,6 +143,8 @@ impl ServerStats {
         encode_stat_u64(out, "object_too_large", self.too_large.load(Ordering::Relaxed));
         encode_stat_u64(out, "multiget_batches", self.multiget_batches.load(Ordering::Relaxed));
         encode_stat_u64(out, "multiget_keys", self.multiget_keys.load(Ordering::Relaxed));
+        encode_stat_u64(out, "multiset_batches", self.multiset_batches.load(Ordering::Relaxed));
+        encode_stat_u64(out, "multiset_keys", self.multiset_keys.load(Ordering::Relaxed));
         for (names, h) in LAT_NAMES.iter().zip([
             &self.get_latency,
             &self.store_latency,
@@ -158,6 +174,8 @@ impl ServerStats {
         self.too_large.store(0, Ordering::Relaxed);
         self.multiget_batches.store(0, Ordering::Relaxed);
         self.multiget_keys.store(0, Ordering::Relaxed);
+        self.multiset_batches.store(0, Ordering::Relaxed);
+        self.multiset_keys.store(0, Ordering::Relaxed);
     }
 }
 

@@ -79,6 +79,20 @@ pub struct ItemOut {
     pub data: Vec<u8>,
 }
 
+/// One storage command of a coalesced burst (see
+/// [`Store::store_many`]): the arguments of [`Store::store`] minus the
+/// shared `now`, borrowed straight from the connection's receive
+/// buffer. `noreply` stays with the connection — it shapes the reply
+/// stream, not the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreCmd<'a> {
+    pub verb: StoreVerb,
+    pub key: &'a [u8],
+    pub flags: u32,
+    pub exptime: u32,
+    pub data: &'a [u8],
+}
+
 /// Counters surfaced by the `stats` command, uniform across backends.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
@@ -112,6 +126,18 @@ pub trait Store: Send + Sync + 'static {
         data: &[u8],
         now: u32,
     ) -> StoreOutcome;
+    /// Batched mutation: one outcome per command, in order, with
+    /// per-command semantics identical to [`store`](Self::store) —
+    /// including cas allocation order and duplicate keys within the
+    /// batch (later commands observe earlier ones). The default loops
+    /// `store`; backends whose table has a pipelined multi-key write
+    /// path override it to run `set` bursts through the batch engine.
+    fn store_many(&self, cmds: &[StoreCmd<'_>], now: u32, out: &mut Vec<StoreOutcome>) {
+        out.clear();
+        out.extend(
+            cmds.iter().map(|c| self.store(c.verb, c.key, c.flags, c.exptime, c.data, now)),
+        );
+    }
     fn delete(&self, key: &[u8]) -> bool;
     /// `flush_all`: drops every item, returning how many went. Not
     /// atomic against concurrent writers (memcached's isn't either);
@@ -310,6 +336,51 @@ impl Store for ClockStore {
             StoreOutcome::Stored { cas, expires_at }
         } else {
             StoreOutcome::NotStored
+        }
+    }
+
+    fn store_many(&self, cmds: &[StoreCmd<'_>], now: u32, out: &mut Vec<StoreOutcome>) {
+        out.clear();
+        out.reserve(cmds.len());
+        let mut i = 0;
+        while i < cmds.len() {
+            let run = cmds[i..].iter().take_while(|c| c.verb == StoreVerb::Set).count();
+            if run < 2 {
+                // Conditional verbs (and lone sets) keep the
+                // per-command path: add/replace semantics hinge on the
+                // present/absent check the engine does per key.
+                let c = &cmds[i];
+                out.push(self.store(c.verb, c.key, c.flags, c.exptime, c.data, now));
+                i += 1;
+                continue;
+            }
+            // A `set` run: per-command metadata (hash, cas allocation,
+            // inline packing, lazy reap of an expired incumbent) in
+            // command order, then one batched put through the table's
+            // pipelined write path. Oversized items report `TooLarge`
+            // and drop out of the batch, exactly as `store` refuses
+            // them.
+            let mut pairs = Vec::with_capacity(run);
+            for c in &cmds[i..i + run] {
+                let h = self.hash_key(c.key);
+                let expires_at = deadline(c.exptime, now);
+                let cas = self.next_cas();
+                let Some(entry) = InlineEntry::new(c.key, c.flags, expires_at, cas, c.data)
+                else {
+                    out.push(StoreOutcome::TooLarge);
+                    continue;
+                };
+                if let Some(old) = self.cache.get(h) {
+                    if old.key() == c.key && expired(old.expires_at, now) {
+                        self.cache.delete(h);
+                        self.cache.record_expiration();
+                    }
+                }
+                pairs.push((h, entry));
+                out.push(StoreOutcome::Stored { cas, expires_at });
+            }
+            self.cache.put_many(&pairs);
+            i += run;
         }
     }
 
@@ -561,6 +632,51 @@ impl Store for CuckooStore {
         }
     }
 
+    fn store_many(&self, cmds: &[StoreCmd<'_>], now: u32, out: &mut Vec<StoreOutcome>) {
+        out.clear();
+        out.reserve(cmds.len());
+        let mut i = 0;
+        while i < cmds.len() {
+            let run = cmds[i..].iter().take_while(|c| c.verb == StoreVerb::Set).count();
+            if run < 2 {
+                // Conditional verbs (and lone sets) keep the
+                // per-command path: add/replace hinge on per-key
+                // liveness checks.
+                let c = &cmds[i];
+                out.push(self.store(c.verb, c.key, c.flags, c.exptime, c.data, now));
+                i += 1;
+                continue;
+            }
+            // A `set` run maps onto one pipelined `upsert_many`: cas
+            // values are allocated in command order and duplicates
+            // within the run resolve last-wins under the batch lock,
+            // so outcomes match the per-command loop exactly.
+            let mut entries: Vec<(Box<[u8]>, Arc<StoredItem>)> = Vec::with_capacity(run);
+            for c in &cmds[i..i + run] {
+                let expires_at = deadline(c.exptime, now);
+                let cas = self.cas.fetch_add(1, Ordering::Relaxed);
+                let item =
+                    Arc::new(StoredItem { flags: c.flags, expires_at, cas, data: c.data.into() });
+                entries.push((c.key.into(), item));
+                out.push(StoreOutcome::Stored { cas, expires_at });
+            }
+            let (mut ins, mut upd) = (0u64, 0u64);
+            for outcome in self.map.upsert_many(entries) {
+                match outcome {
+                    cuckoo::UpsertOutcome::Inserted => ins += 1,
+                    cuckoo::UpsertOutcome::Updated => upd += 1,
+                }
+            }
+            if ins != 0 {
+                self.inserts.fetch_add(ins, Ordering::Relaxed);
+            }
+            if upd != 0 {
+                self.updates.fetch_add(upd, Ordering::Relaxed);
+            }
+            i += run;
+        }
+    }
+
     fn delete(&self, key: &[u8]) -> bool {
         let owned: Box<[u8]> = key.into();
         if self.map.remove(&owned).is_some() {
@@ -779,6 +895,80 @@ mod tests {
     #[test]
     fn cuckoo_store_semantics() {
         check_common(&CuckooStore::new(1024));
+    }
+
+    /// Drives the same mixed burst through `store_many` on one fresh
+    /// store and a per-command `store` loop on another: outcomes
+    /// (including cas allocation order) and resulting items must be
+    /// identical.
+    fn check_store_many(make: impl Fn() -> Box<dyn Store>) {
+        let batched = make();
+        let looped = make();
+        let now = 1000;
+        // Set runs (with an in-run duplicate), conditional verbs
+        // breaking the runs, and a trailing run.
+        let cmds: Vec<(StoreVerb, &[u8], &[u8])> = vec![
+            (StoreVerb::Set, b"a", b"1"),
+            (StoreVerb::Set, b"b", b"2"),
+            (StoreVerb::Set, b"a", b"3"), // duplicate inside the run: last wins
+            (StoreVerb::Add, b"a", b"x"), // NOT_STORED: present
+            (StoreVerb::Add, b"c", b"4"),
+            (StoreVerb::Replace, b"miss", b"x"), // NOT_STORED: absent
+            (StoreVerb::Set, b"d", b"5"),
+            (StoreVerb::Set, b"e", b"6"),
+            (StoreVerb::Replace, b"b", b"7"),
+        ];
+        let burst: Vec<StoreCmd<'_>> = cmds
+            .iter()
+            .map(|(verb, key, data)| StoreCmd { verb: *verb, key, flags: 9, exptime: 0, data })
+            .collect();
+        let mut outcomes = Vec::new();
+        batched.store_many(&burst, now, &mut outcomes);
+        let expect: Vec<StoreOutcome> =
+            cmds.iter().map(|(verb, key, data)| looped.store(*verb, key, 9, 0, data, now)).collect();
+        assert_eq!(outcomes, expect, "store_many diverged from the per-command loop");
+        for key in [b"a".as_slice(), b"b", b"c", b"d", b"e"] {
+            let b = batched.get(key, now).expect("batched item present");
+            let l = looped.get(key, now).expect("looped item present");
+            assert_eq!(
+                (b.flags, b.cas, b.data),
+                (l.flags, l.cas, l.data),
+                "item {:?} diverged",
+                String::from_utf8_lossy(key)
+            );
+        }
+        assert!(batched.get(b"miss", now).is_none());
+        assert_eq!(batched.stats().cache.inserts, looped.stats().cache.inserts);
+        assert_eq!(batched.stats().cache.updates, looped.stats().cache.updates);
+    }
+
+    #[test]
+    fn clock_store_many_matches_loop() {
+        check_store_many(|| Box::new(ClockStore::new(1024)));
+    }
+
+    #[test]
+    fn cuckoo_store_many_matches_loop() {
+        check_store_many(|| Box::new(CuckooStore::new(1024)));
+    }
+
+    #[test]
+    fn clock_store_many_rejects_oversized_mid_run() {
+        let s = ClockStore::new(64);
+        let big = vec![0u8; INLINE_DATA + 1];
+        let burst = [
+            StoreCmd { verb: StoreVerb::Set, key: b"ok1", flags: 0, exptime: 0, data: b"v1" },
+            StoreCmd { verb: StoreVerb::Set, key: b"huge", flags: 0, exptime: 0, data: &big },
+            StoreCmd { verb: StoreVerb::Set, key: b"ok2", flags: 0, exptime: 0, data: b"v2" },
+        ];
+        let mut outcomes = Vec::new();
+        s.store_many(&burst, 0, &mut outcomes);
+        assert!(matches!(outcomes[0], StoreOutcome::Stored { .. }));
+        assert_eq!(outcomes[1], StoreOutcome::TooLarge);
+        assert!(matches!(outcomes[2], StoreOutcome::Stored { .. }));
+        assert_eq!(s.get(b"ok1", 0).unwrap().data, b"v1");
+        assert!(s.get(b"huge", 0).is_none());
+        assert_eq!(s.get(b"ok2", 0).unwrap().data, b"v2");
     }
 
     #[test]

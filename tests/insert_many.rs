@@ -1,0 +1,187 @@
+//! Property-based equivalence: `insert_many` ≡ N independent `insert`s.
+//!
+//! The batched write engine takes a different code path (hash-all +
+//! prefetch, stripe-sorted batch locking, SIMD probe, per-key
+//! fallback on path search / migration / duplicates) but must be
+//! observationally identical to looping the single-key write: same
+//! per-entry results in request order — for duplicates within a
+//! batch, ragged tails, batches longer than the table, and writes
+//! racing a live expansion.
+
+use cuckoo_repro::cuckoo::{
+    CuckooMap, InsertError, OptimisticBuilder, OptimisticCuckooMap, RandomState, UpsertOutcome,
+};
+use proptest::prelude::*;
+
+/// The default hasher seeds every table differently (deliberately), so
+/// a differential test comparing two *maps* must pin one hash function:
+/// near saturation, `TableFull` outcomes depend on key→bucket geometry,
+/// not just on the key set.
+const HASH_SEED: u64 = 0xd1f_f00d;
+
+fn opt_map<const B: usize>(capacity: usize) -> OptimisticCuckooMap<u64, u64, B, RandomState> {
+    OptimisticBuilder::new(capacity).hasher(RandomState::with_seed(HASH_SEED)).build()
+}
+
+fn gen_map(capacity: usize) -> CuckooMap<u64, u64, 8, RandomState> {
+    CuckooMap::with_capacity_and_hasher(capacity, RandomState::with_seed(HASH_SEED))
+}
+
+/// Replays an op trace on a fresh reference map using only single-key
+/// calls, returning the expected per-entry results for one batch.
+fn expected_inserts<const B: usize>(
+    reference: &OptimisticCuckooMap<u64, u64, B, RandomState>,
+    batch: &[(u64, u64)],
+) -> Vec<Result<(), InsertError>> {
+    batch.iter().map(|&(k, v)| reference.insert(k, v)).collect()
+}
+
+proptest! {
+    /// Optimistic map: arbitrary interleavings of batched and single
+    /// inserts produce the same per-entry results and final contents as
+    /// a single-key-only replay. Keys are drawn from a small domain so
+    /// duplicates (both within a batch and across ops) are common.
+    #[test]
+    fn optimistic_insert_many_equals_insert_loop(
+        ops in proptest::collection::vec(
+            proptest::collection::vec((0u16..400, any::<u64>()), 0..40),
+            1..8,
+        ),
+    ) {
+        let batched = opt_map::<8>(2048);
+        let looped = opt_map::<8>(2048);
+        for batch in &ops {
+            let entries: Vec<(u64, u64)> =
+                batch.iter().map(|&(k, v)| (k as u64, v)).collect();
+            let got = batched.insert_many(&entries);
+            let want = expected_inserts(&looped, &entries);
+            prop_assert_eq!(&got, &want, "batch {:?}", entries);
+        }
+        // Final state agrees key-for-key.
+        prop_assert_eq!(batched.len(), looped.len());
+        for batch in &ops {
+            for &(k, _) in batch {
+                prop_assert_eq!(batched.get(&(k as u64)), looped.get(&(k as u64)), "key {}", k);
+            }
+        }
+    }
+
+    /// Optimistic map: `upsert_many` last-write-wins semantics match the
+    /// single-key `upsert` loop, including Inserted/Updated outcomes for
+    /// duplicate keys within one batch (earlier entry inserts, later
+    /// entries update).
+    #[test]
+    fn optimistic_upsert_many_equals_upsert_loop(
+        ops in proptest::collection::vec(
+            proptest::collection::vec((0u16..200, any::<u64>()), 0..40),
+            1..8,
+        ),
+    ) {
+        let batched = opt_map::<8>(2048);
+        let looped = opt_map::<8>(2048);
+        for batch in &ops {
+            let entries: Vec<(u64, u64)> =
+                batch.iter().map(|&(k, v)| (k as u64, v)).collect();
+            let got = batched.upsert_many(&entries);
+            let want: Vec<Result<UpsertOutcome, InsertError>> =
+                entries.iter().map(|&(k, v)| looped.upsert(k, v)).collect();
+            prop_assert_eq!(&got, &want, "batch {:?}", entries);
+        }
+        for batch in &ops {
+            for &(k, _) in batch {
+                prop_assert_eq!(batched.get(&(k as u64)), looped.get(&(k as u64)), "key {}", k);
+            }
+        }
+    }
+
+    /// General map: batched writes agree with the locked single-key path
+    /// (which can never observe `TableFull` — it expands instead), for
+    /// inserts and upserts over an arbitrary trace.
+    #[test]
+    fn cuckoo_map_write_many_equals_loop(
+        inserts in proptest::collection::vec((0u16..300, any::<u64>()), 0..80),
+        upserts in proptest::collection::vec((0u16..300, any::<u64>()), 0..80),
+    ) {
+        let batched = gen_map(2048);
+        let looped = gen_map(2048);
+        let ins: Vec<(u64, u64)> = inserts.iter().map(|&(k, v)| (k as u64, v)).collect();
+        let got = batched.insert_many(ins.clone());
+        let want: Vec<Result<(), InsertError>> =
+            ins.iter().map(|&(k, v)| looped.insert(k, v)).collect();
+        prop_assert_eq!(&got, &want);
+        let ups: Vec<(u64, u64)> = upserts.iter().map(|&(k, v)| (k as u64, v)).collect();
+        let got = batched.upsert_many(ups.clone());
+        let want: Vec<UpsertOutcome> = ups.iter().map(|&(k, v)| looped.upsert(k, v)).collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(batched.len(), looped.len());
+        for &(k, _) in ins.iter().chain(ups.iter()) {
+            prop_assert_eq!(batched.get(&k), looped.get(&k), "key {}", k);
+        }
+    }
+}
+
+/// One batch far longer than the table's capacity walks every
+/// group-boundary case — full groups, the ragged tail, duplicate-heavy
+/// groups — and must degrade exactly like the loop: `KeyExists` for
+/// duplicates, `TableFull` once the small optimistic table saturates.
+#[test]
+fn batch_longer_than_table() {
+    let batched = opt_map::<4>(64);
+    let looped = opt_map::<4>(64);
+    let capacity = batched.capacity() as u64;
+    // 4x the table size, cycling fresh keys and duplicates.
+    let entries: Vec<(u64, u64)> = (0..capacity * 4)
+        .map(|i| match i % 3 {
+            0 => (i / 3, i + 100),  // mostly-fresh ascending keys
+            1 => (0, i + 200),      // duplicate of the first key
+            _ => (i / 3 + 7, i + 300),
+        })
+        .collect();
+    let got = batched.insert_many(&entries);
+    let want: Vec<Result<(), InsertError>> =
+        entries.iter().map(|&(k, v)| looped.insert(k, v)).collect();
+    assert_eq!(got, want);
+    assert!(
+        want.iter().any(|r| matches!(r, Err(InsertError::TableFull))),
+        "trace was meant to saturate the table"
+    );
+    assert_eq!(batched.len(), looped.len());
+    for &(k, _) in &entries {
+        assert_eq!(batched.get(&k), looped.get(&k), "key {k}");
+    }
+}
+
+/// Batched writes racing a migration: a writer thread drives the whole
+/// key space through `insert_many` while the general map expands
+/// underneath it (capacity overflow triggers expansion; a helper thread
+/// keeps migration moving). Every entry must land exactly once.
+#[test]
+fn insert_many_lands_all_keys_across_live_expansion() {
+    let m: CuckooMap<u64, u64, 8> = CuckooMap::with_capacity(1 << 10);
+    let n = m.capacity() as u64; // > capacity * fill threshold → expands
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (m_ref, stop_ref) = (&m, &stop);
+        let helper = s.spawn(move || {
+            while !stop_ref.load(std::sync::atomic::Ordering::Acquire) {
+                while m_ref.help_migrate(usize::MAX) {}
+                std::hint::spin_loop();
+            }
+        });
+        for chunk_start in (0..n).step_by(37) {
+            let entries: Vec<(u64, u64)> = (chunk_start..(chunk_start + 37).min(n))
+                .map(|k| (k, k * 7 + 5))
+                .collect();
+            for r in m.insert_many(entries) {
+                r.unwrap();
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        helper.join().unwrap();
+    });
+    assert_eq!(m.len() as u64, n);
+    let keys: Vec<u64> = (0..n).collect();
+    for (k, v) in keys.iter().zip(m.get_many(&keys)) {
+        assert_eq!(v, Some(k * 7 + 5), "key {k} lost");
+    }
+}

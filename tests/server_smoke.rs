@@ -250,6 +250,75 @@ fn observability_sections_expose_and_reset() {
     handle.shutdown();
 }
 
+/// A pipelined burst of storage commands in one TCP write must coalesce
+/// into a batched `store_many` on the server side while producing a
+/// reply stream byte-identical to sequential execution — including
+/// `noreply` gaps and conditional-verb outcomes.
+#[test]
+fn pipelined_set_burst_coalesces_with_exact_replies() {
+    let handle = server::spawn(server::Config {
+        port: 0,
+        capacity: 1 << 14,
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("spawn");
+    let mut client = Client::connect(handle.local_addr());
+
+    // One write carrying a whole burst: 32 sets, one of them noreply,
+    // an add that must lose, an add that must win, and a replace miss.
+    let mut burst = Vec::new();
+    for i in 0..32 {
+        let value = format!("burst-{i}");
+        let noreply = if i == 7 { " noreply" } else { "" };
+        burst.extend_from_slice(
+            format!("set bk{i} 0 0 {}{noreply}\r\n{value}\r\n", value.len()).as_bytes(),
+        );
+    }
+    burst.extend_from_slice(b"add bk0 0 0 1\r\nx\r\n"); // present: NOT_STORED
+    burst.extend_from_slice(b"add bnew 0 0 1\r\ny\r\n"); // absent: STORED
+    burst.extend_from_slice(b"replace bmiss 0 0 1\r\nz\r\n"); // absent: NOT_STORED
+    client.writer.write_all(&burst).unwrap();
+
+    // Replies in command order, skipping exactly the noreply set.
+    for i in 0..32 {
+        if i == 7 {
+            continue;
+        }
+        assert_eq!(client.line(), "STORED", "set bk{i}");
+    }
+    assert_eq!(client.line(), "NOT_STORED", "add of a present key");
+    assert_eq!(client.line(), "STORED", "add of an absent key");
+    assert_eq!(client.line(), "NOT_STORED", "replace of an absent key");
+
+    // Every value (noreply one included) landed.
+    for i in 0..32 {
+        assert_eq!(client.get(&format!("bk{i}")), Some(format!("burst-{i}").into_bytes()));
+    }
+    assert_eq!(client.get("bnew"), Some(b"y".to_vec()));
+    assert_eq!(client.get("bmiss"), None);
+
+    // The server saw at least one coalesced burst covering the sets.
+    write!(client.writer, "stats\r\n").unwrap();
+    let (mut batches, mut keys) = (0u64, 0u64);
+    loop {
+        let line = client.line();
+        if line == "END" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("STAT multiset_batches ") {
+            batches = rest.parse().unwrap();
+        }
+        if let Some(rest) = line.strip_prefix("STAT multiset_keys ") {
+            keys = rest.parse().unwrap();
+        }
+    }
+    assert!(batches >= 1, "burst was not coalesced (multiset_batches {batches})");
+    assert!(keys >= 32, "coalesced burst lost commands (multiset_keys {keys})");
+
+    handle.shutdown();
+}
+
 #[test]
 fn no_evict_mode_serves_large_values() {
     let handle = server::spawn(server::Config {

@@ -81,9 +81,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     let is_raw = j > 0 && chars[j - 1] == 'r' && {
                         let k = j - 1;
-                        if k == 0 {
-                            true
-                        } else if !is_ident(chars[k - 1]) {
+                        if k == 0 || !is_ident(chars[k - 1]) {
                             true
                         } else {
                             // `br"…"`: a `b` prefix that itself starts

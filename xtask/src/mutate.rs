@@ -19,6 +19,9 @@
 //!   grants acquire/release semantics for free — the lint is the only
 //!   honest judge we have without a weaker-memory CI host.)
 //! * **Pair-lock sort inversion** — the deadlock-avoidance total order.
+//! * **Batch stripe-sort inversion** — the write-group `lock_batch`
+//!   acquisition order flipped to descending, breaking the shared
+//!   total order with `lock_pair`/`lock_multi`.
 //! * **`.rev()` stripping** — hole-backwards → items-forward execution.
 //! * **Seqlock stamp flip** — `try_lock` acquires with an even (+2)
 //!   stamp instead of odd, erasing the reader-visible write window.
@@ -393,6 +396,19 @@ pub fn pinned() -> Vec<Mutant> {
             },
             Kill::Orderings,
             "migration chunk-done store weakened: helpers could read a torn chunk",
+        ),
+        m(
+            "batch-stripe-sort-invert",
+            "crates/cuckoo/src/sync.rs",
+            Op::Replace {
+                find: "stripes[..m].sort_unstable();".into(),
+                replace: "stripes[..m].sort_unstable_by(|a, b| b.cmp(a));".into(),
+            },
+            Kill::Test {
+                pkg: "cuckoo",
+                filter: "lock_batch",
+            },
+            "batched write-group stripe sort inverted (deadlock seed vs pair/multi order)",
         ),
         m(
             "weaken-exec-displacements",

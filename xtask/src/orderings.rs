@@ -832,6 +832,7 @@ seqcst = true
             "advisory.relaxed",
             "stats.counter",
             "htm.racy-chunk",
+            "simd_probe",
         ];
         assert_eq!(
             ids, pinned,
